@@ -1,0 +1,72 @@
+"""E2 — paper Figure 2: two-block trace, merged ranks, completion 11 at W=2.
+
+Regenerates the merged rank values and both schedules of §2.3, asserts the
+paper's numbers, and benchmarks Algorithm Lookahead on the trace.
+"""
+
+from common import emit_table
+
+from repro.core import algorithm_lookahead, compute_ranks
+from repro.machine import paper_machine
+from repro.sim import simulate_trace
+from repro.workloads import figure2_trace
+
+PAPER_RANKS = {
+    "g": 100, "v": 100, "a": 100, "r": 100,
+    "p": 98, "b": 98, "q": 97, "z": 95,
+    "w": 93, "e": 91, "x": 90,
+}
+
+
+def test_fig2_reproduction(benchmark):
+    machine = paper_machine(2)
+
+    t_edge = figure2_trace(with_cross_edge=True)
+    ranks = compute_ranks(t_edge.graph, {n: 100 for n in t_edge.graph.nodes})
+    assert ranks == PAPER_RANKS
+
+    res_edge = algorithm_lookahead(t_edge, machine)
+    sim_edge = simulate_trace(t_edge, res_edge.block_orders, machine)
+    assert sim_edge.makespan == 11
+    p1 = res_edge.block_orders[0]
+    assert p1.index("w") < p1.index("b")  # the cross edge reorders BB1
+
+    t_plain = figure2_trace(with_cross_edge=False)
+    res_plain = algorithm_lookahead(t_plain, machine)
+    sim_plain = simulate_trace(t_plain, res_plain.block_orders, machine)
+    assert sim_plain.makespan == 11
+    assert res_plain.block_orders == [
+        ["x", "e", "r", "b", "w", "a"],
+        ["z", "q", "p", "v", "g"],
+    ]
+
+    rank_rows = [
+        [n, PAPER_RANKS[n], ranks[n]] for n in sorted(PAPER_RANKS, key=PAPER_RANKS.get)
+    ]
+    emit_table(
+        "E2_fig2_ranks",
+        ["node", "paper rank @ D=100", "measured"],
+        rank_rows,
+        title="E2 / Figure 2: merged ranks of BB1 ∪ BB2 with edge w→z (lat 1)",
+    )
+    emit_table(
+        "E2_fig2_schedules",
+        ["variant", "P1 (emitted BB1 order)", "P2", "completion (paper: 11)"],
+        [
+            [
+                "no cross edge",
+                " ".join(res_plain.block_orders[0]),
+                " ".join(res_plain.block_orders[1]),
+                sim_plain.makespan,
+            ],
+            [
+                "with w→z edge",
+                " ".join(res_edge.block_orders[0]),
+                " ".join(res_edge.block_orders[1]),
+                sim_edge.makespan,
+            ],
+        ],
+        title="E2 / Figure 2: anticipatory schedules at W = 2",
+    )
+
+    benchmark(lambda: algorithm_lookahead(figure2_trace(True), machine))

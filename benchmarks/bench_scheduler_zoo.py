@@ -1,0 +1,100 @@
+"""E15 — the full scheduler zoo on one corpus.
+
+Every local scheduler the paper's related-work section discusses, plus the
+anticipatory pipeline, on a common set of random traces: the table the §7
+prototype study would have led with.  Expected shape (asserted): the
+rank-based schedulers (the paper's lineage) are at least as good as every
+classic list heuristic in total cycles, and anticipatory scheduling leads
+the safe field.
+"""
+
+from common import emit_table
+
+from repro.core import algorithm_lookahead, local_block_orders
+from repro.machine import paper_machine
+from repro.schedulers import (
+    bernstein_gertner_schedule,
+    block_orders_with_priority,
+    critical_path_priority,
+    gibbons_muchnick_schedule,
+    global_upper_bound,
+    hennessy_gross_schedule,
+    source_order_priority,
+    warren_schedule,
+)
+from repro.sim import simulate_trace
+from repro.workloads import random_trace
+
+TRIALS = 10
+WINDOW = 4
+
+
+def make_trace(seed: int):
+    return random_trace(
+        3,
+        (5, 8),
+        edge_probability=0.3,
+        cross_probability=0.08,
+        latencies=(0, 1, 2, 4),
+        seed=seed,
+    )
+
+
+def per_block(trace, machine, schedule_fn):
+    return [schedule_fn(bb.graph, machine).permutation() for bb in trace.blocks]
+
+
+def test_scheduler_zoo(benchmark):
+    machine = paper_machine(WINDOW)
+    totals: dict[str, int] = {}
+    for seed in range(TRIALS):
+        trace = make_trace(seed)
+        entries = {
+            "source order": block_orders_with_priority(
+                trace, source_order_priority, machine
+            ),
+            "critical path": block_orders_with_priority(
+                trace, critical_path_priority, machine
+            ),
+            "Gibbons-Muchnick [8]": per_block(trace, machine, gibbons_muchnick_schedule),
+            "Hennessy-Gross [9]": per_block(trace, machine, hennessy_gross_schedule),
+            "Warren [12]": per_block(trace, machine, warren_schedule),
+            "Bernstein-Gertner [3]": per_block(
+                trace, machine, bernstein_gertner_schedule
+            ),
+            "Rank Algorithm [10]": local_block_orders(
+                trace, machine, delay_idles=False
+            ),
+            "Rank + idle delay (§3)": local_block_orders(
+                trace, machine, delay_idles=True
+            ),
+            "Anticipatory (§4)": algorithm_lookahead(trace, machine).block_orders,
+        }
+        for name, orders in entries.items():
+            totals[name] = totals.get(name, 0) + simulate_trace(
+                trace, orders, machine
+            ).makespan
+        totals["global bound (unsafe)"] = totals.get(
+            "global bound (unsafe)", 0
+        ) + global_upper_bound(trace, machine).makespan
+
+    rows = sorted(totals.items(), key=lambda kv: kv[1])
+    emit_table(
+        "E15_scheduler_zoo",
+        ["scheduler", f"total cycles over {TRIALS} traces"],
+        rows,
+        title=(
+            "E15: scheduler zoo — 3-block random traces, latencies 0/1/2/4, "
+            f"W={WINDOW}, windowed execution"
+        ),
+    )
+
+    # Shape: anticipatory leads the safe field; the unsafe global bound is
+    # the only thing below it.
+    safe = {k: v for k, v in totals.items() if k != "global bound (unsafe)"}
+    assert totals["Anticipatory (§4)"] == min(safe.values())
+    assert totals["global bound (unsafe)"] <= totals["Anticipatory (§4)"]
+    assert totals["Rank Algorithm [10]"] <= totals["source order"]
+
+    trace = make_trace(0)
+    benchmark(lambda: algorithm_lookahead(trace, machine))

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (E1-E4) or one table
+of the prospective study the paper proposed in §7 (E5-E11; see DESIGN.md).
+Tables are printed and also written to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.analysis import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str,
+) -> str:
+    """Format, print and persist an experiment table."""
+    text = format_table(headers, rows, title=title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

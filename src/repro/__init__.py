@@ -1,0 +1,118 @@
+"""repro — a full reproduction of *Anticipatory Instruction Scheduling*
+(Vivek Sarkar & Barbara Simons, SPAA 1996).
+
+Anticipatory instruction scheduling rearranges instructions *within* each
+basic block so that a trace of blocks completes as fast as possible on a
+processor with a hardware lookahead window, without ever moving an
+instruction across a block boundary.  The package provides:
+
+- :mod:`repro.ir` — instructions, dependence graphs (plain and
+  ⟨latency, distance⟩ loop graphs), basic blocks, traces, CFGs, a small
+  textual ISA;
+- :mod:`repro.core` — the Rank Algorithm, Move_Idle_Slot/Delay_Idle_Slots,
+  Procedure Merge/Chop, Algorithm Lookahead, the §5 loop algorithms, legality
+  checking, and §4.2 heuristics;
+- :mod:`repro.machine` — machine models (functional units, window size);
+- :mod:`repro.sim` — a cycle-accurate lookahead-window simulator, loop
+  steady-state analysis, branch-prediction studies;
+- :mod:`repro.schedulers` — the baselines of the paper's related-work
+  section plus an exact brute-force oracle;
+- :mod:`repro.workloads` — the paper's figure examples and synthetic
+  workload generators;
+- :mod:`repro.analysis` — metrics, tables, output verification.
+
+Quickstart::
+
+    from repro import (
+        MachineModel, algorithm_lookahead, simulate_trace,
+    )
+    from repro.workloads import figure2_trace
+
+    machine = MachineModel(window_size=2)
+    trace = figure2_trace()
+    result = algorithm_lookahead(trace, machine)
+    sim = simulate_trace(trace, result.block_orders, machine)
+    print(result.block_orders, sim.makespan)
+"""
+
+from .core import (
+    LookaheadResult,
+    LoopScheduleResult,
+    LoopTraceResult,
+    Schedule,
+    algorithm_lookahead,
+    anticipatory_schedule,
+    compute_ranks,
+    delay_idle_slots,
+    is_legal_schedule,
+    local_block_orders,
+    minimum_makespan_schedule,
+    move_idle_slot,
+    rank_schedule,
+    schedule_block_with_late_idle_slots,
+    schedule_loop_trace,
+    schedule_single_block_loop,
+)
+from .ir import (
+    BasicBlock,
+    ControlFlowGraph,
+    DependenceGraph,
+    Instruction,
+    LoopGraph,
+    LoopTrace,
+    Trace,
+    build_trace,
+    graph_from_edges,
+    loop_from_edges,
+    parse_trace,
+)
+from .machine import MachineModel, paper_machine, single_unit_machine
+from .sim import (
+    SimResult,
+    periodic_initiation_interval,
+    simulate_loop_order,
+    simulate_trace,
+    simulate_window,
+    simulated_initiation_interval,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "DependenceGraph",
+    "Instruction",
+    "LookaheadResult",
+    "LoopGraph",
+    "LoopScheduleResult",
+    "LoopTrace",
+    "LoopTraceResult",
+    "MachineModel",
+    "Schedule",
+    "SimResult",
+    "Trace",
+    "algorithm_lookahead",
+    "anticipatory_schedule",
+    "build_trace",
+    "compute_ranks",
+    "delay_idle_slots",
+    "graph_from_edges",
+    "is_legal_schedule",
+    "local_block_orders",
+    "loop_from_edges",
+    "minimum_makespan_schedule",
+    "move_idle_slot",
+    "paper_machine",
+    "parse_trace",
+    "periodic_initiation_interval",
+    "rank_schedule",
+    "schedule_block_with_late_idle_slots",
+    "schedule_loop_trace",
+    "schedule_single_block_loop",
+    "simulate_loop_order",
+    "simulate_trace",
+    "simulate_window",
+    "simulated_initiation_interval",
+    "single_unit_machine",
+]

@@ -1,0 +1,92 @@
+"""Graphviz DOT export for dependence graphs, loop graphs and schedules.
+
+Pure text generation (no graphviz dependency): paste the output into any DOT
+renderer.  Used by the CLI's ``--dot`` flag and handy when debugging why a
+schedule came out the way it did.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import Schedule
+from ..ir.basicblock import Trace
+from ..ir.depgraph import DependenceGraph
+from ..ir.loopgraph import LoopGraph
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(graph: DependenceGraph, name: str = "deps") -> str:
+    """DOT for a plain dependence DAG; edges labelled with latencies."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for n in graph.nodes:
+        extra = ""
+        if graph.exec_time(n) != 1:
+            extra += f"\\n({graph.exec_time(n)} cyc)"
+        if graph.fu_class(n) != "any":
+            extra += f"\\n[{graph.fu_class(n)}]"
+        lines.append(f"  {_quote(n)} [label={_quote(n + extra)}];")
+    for u, v, lat in graph.edges():
+        style = ' style=dashed' if lat == 0 else ""
+        lines.append(f"  {_quote(u)} -> {_quote(v)} [label={_quote(str(lat))}{style}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def loop_to_dot(loop: LoopGraph, name: str = "loop") -> str:
+    """DOT for a loop graph; carried edges drawn bold with ⟨lat, dist⟩."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for n in loop.nodes:
+        lines.append(f"  {_quote(n)};")
+    for e in loop.edges():
+        if e.distance == 0:
+            label = str(e.latency)
+            attr = f"label={_quote(label)}"
+        else:
+            label = f"<{e.latency},{e.distance}>"
+            attr = f"label={_quote(label)} style=bold color=red"
+        lines.append(f"  {_quote(e.src)} -> {_quote(e.dst)} [{attr}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def trace_to_dot(trace: Trace, name: str = "trace") -> str:
+    """DOT for a trace: one cluster per basic block, cross edges between."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for i, bb in enumerate(trace.blocks):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f"    label={_quote(bb.name)};")
+        for n in bb.node_names:
+            lines.append(f"    {_quote(n)};")
+        for u, v, lat in bb.graph.edges():
+            lines.append(
+                f"    {_quote(u)} -> {_quote(v)} [label={_quote(str(lat))}];"
+            )
+        lines.append("  }")
+    for u, v, lat in trace.cross_edges:
+        lines.append(
+            f"  {_quote(u)} -> {_quote(v)} "
+            f"[label={_quote(str(lat))} color=blue style=bold];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule, name: str = "schedule") -> str:
+    """DOT of the dependence graph with nodes annotated by start time and
+    ranked by time step (a poor man's Gantt)."""
+    graph = schedule.graph
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=box];"]
+    by_time: dict[int, list[str]] = {}
+    for n in graph.nodes:
+        t = schedule.start(n)
+        by_time.setdefault(t, []).append(n)
+        lines.append(f"  {_quote(n)} [label={_quote(f'{n}@{t}')}];")
+    for t in sorted(by_time):
+        members = " ".join(_quote(n) for n in by_time[t])
+        lines.append(f"  {{ rank=same; {members} }}")
+    for u, v, lat in graph.edges():
+        lines.append(f"  {_quote(u)} -> {_quote(v)} [label={_quote(str(lat))}];")
+    lines.append("}")
+    return "\n".join(lines)

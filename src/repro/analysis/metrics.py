@@ -1,0 +1,86 @@
+"""Schedule and simulation metrics used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.schedule import Schedule
+from ..ir.basicblock import Trace
+
+
+def speedup(baseline: int | float, improved: int | float) -> float:
+    """baseline / improved (>1 means ``improved`` is faster)."""
+    if improved <= 0:
+        raise ValueError("improved completion time must be positive")
+    return baseline / improved
+
+
+def gap_recovered(local: int, anticipatory: int, global_bound: int) -> float:
+    """Fraction of the local→global completion-time gap recovered by
+    anticipatory scheduling: (local − anticipatory) / (local − global).
+    1.0 = matches the unsafe global bound; 0.0 = no better than local.
+    Returns 1.0 when there is no gap to recover."""
+    gap = local - global_bound
+    if gap <= 0:
+        return 1.0
+    return (local - anticipatory) / gap
+
+
+@dataclass
+class IdleStats:
+    """Idle-slot statistics of a schedule."""
+
+    count: int
+    first: int | None
+    last: int | None
+    mean_position: float | None  # normalized to [0, 1] of the makespan
+
+
+def idle_stats(schedule: Schedule) -> IdleStats:
+    slots = schedule.idle_slots()
+    times = [s.time for s in slots]
+    span = schedule.makespan
+    return IdleStats(
+        count=len(times),
+        first=min(times) if times else None,
+        last=max(times) if times else None,
+        mean_position=(sum(times) / len(times) / max(span, 1)) if times else None,
+    )
+
+
+def utilization(schedule: Schedule, total_units: int = 1) -> float:
+    """Busy unit-cycles divided by makespan × units."""
+    span = schedule.makespan
+    if span == 0:
+        return 1.0
+    busy = sum(
+        schedule.graph.exec_time(n) for n in schedule.graph.nodes
+    )
+    return busy / (span * total_units)
+
+
+def overlap_cycles(
+    trace: Trace, schedule: Schedule
+) -> int:
+    """Number of runtime cycles in which an instruction issued *before* some
+    instruction of an earlier block (a direct measure of the cross-block
+    overlap that hardware lookahead realized)."""
+    count = 0
+    perm = schedule.permutation()
+    blocks = [trace.block_index(n) for n in perm]
+    for i in range(len(perm)):
+        if any(blocks[j] > blocks[i] for j in range(i)):
+            count += 1
+    return count
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    prod = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean needs positive values")
+        prod *= v
+    return prod ** (1.0 / len(values))

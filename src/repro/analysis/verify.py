@@ -1,0 +1,68 @@
+"""End-to-end output verification helpers.
+
+These checks are what a compiler integration would run on the emitted block
+orders: every block order must be a permutation of its block and a
+topological order of the block's dependence subgraph; the safety property —
+no instruction crosses a block boundary — is structural; and the windowed
+execution of the emitted orders must be a legal schedule per Definition 2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.legality import is_legal_schedule
+from ..ir.basicblock import Trace
+from ..machine.model import MachineModel, single_unit_machine
+
+
+class OutputError(AssertionError):
+    """Raised when emitted block orders violate a required property."""
+
+
+def check_block_orders(trace: Trace, block_orders: Sequence[Sequence[str]]) -> None:
+    """Structural checks on a scheduler's emitted per-block orders."""
+    if len(block_orders) != trace.num_blocks:
+        raise OutputError(
+            f"expected {trace.num_blocks} block orders, got {len(block_orders)}"
+        )
+    for i, order in enumerate(block_orders):
+        members = trace.block_nodes(i)
+        if sorted(order) != sorted(members):
+            raise OutputError(
+                f"block {i}: order is not a permutation of the block "
+                f"(got {list(order)}, expected a permutation of {members})"
+            )
+        pos = {n: k for k, n in enumerate(order)}
+        sub = trace.blocks[i].graph
+        for u, v, _ in sub.edges():
+            if pos[u] > pos[v]:
+                raise OutputError(
+                    f"block {i}: order violates intra-block dependence {u}->{v}"
+                )
+
+
+def check_runtime_legality(
+    trace: Trace,
+    block_orders: Sequence[Sequence[str]],
+    machine: MachineModel | None = None,
+) -> None:
+    """The windowed execution of the emitted orders must satisfy Definition
+    2.3 (it does by construction of the simulator; this guards the
+    simulator and the orders together)."""
+    from ..sim.window import simulate_trace
+
+    machine = machine or single_unit_machine()
+    sim = simulate_trace(trace, block_orders, machine)
+    if not is_legal_schedule(trace, sim.schedule, machine):
+        raise OutputError("windowed execution is not a legal schedule")
+
+
+def verify_scheduler_output(
+    trace: Trace,
+    block_orders: Sequence[Sequence[str]],
+    machine: MachineModel | None = None,
+) -> None:
+    """All checks; raises :class:`OutputError` on the first failure."""
+    check_block_orders(trace, block_orders)
+    check_runtime_legality(trace, block_orders, machine)

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``)::
+
+    repro schedule prog.s --window 4 --scheduler anticipatory --simulate
+    repro ranks prog.s --deadline 100
+    repro loop prog.s --window 2 --iterations 8
+    repro dot prog.s -o deps.dot
+
+``prog.s`` uses the textual format of :mod:`repro.ir.parser` (see its
+docstring or ``examples/``); ``loop`` treats a single-block program as a
+loop body and derives its carried dependences automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.dot import loop_to_dot, trace_to_dot
+from .analysis.report import format_table
+from .core import algorithm_lookahead, compute_ranks, local_block_orders
+from .core.loops import schedule_single_block_loop
+from .ir.loop_builder import build_loop_graph
+from .ir.parser import ParseError, parse_program, parse_trace
+from .machine import (
+    MachineModel,
+    NO_LOOKAHEAD,
+    PAPER_CORE,
+    RS6000_LIKE,
+    WIDE_VLIW,
+)
+from .schedulers import (
+    block_orders_with_priority,
+    critical_path_priority,
+    source_order_priority,
+)
+from .sim import simulate_loop_order, simulate_trace, simulated_initiation_interval
+
+MACHINES = {
+    "paper": PAPER_CORE,
+    "inorder": NO_LOOKAHEAD,
+    "rs6000": RS6000_LIKE,
+    "vliw": WIDE_VLIW,
+}
+
+
+def _machine(args: argparse.Namespace) -> MachineModel:
+    base = MACHINES[args.machine]
+    if args.window is not None:
+        base = MachineModel(
+            window_size=args.window,
+            fu_counts=dict(base.fu_counts),
+            issue_width=base.issue_width,
+        )
+    return base
+
+
+def _load_trace(path: str):
+    return parse_trace(Path(path).read_text())
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.file)
+    machine = _machine(args)
+    if args.scheduler == "anticipatory":
+        orders = algorithm_lookahead(trace, machine).block_orders
+    elif args.scheduler == "local":
+        orders = local_block_orders(trace, machine)
+    elif args.scheduler == "critical-path":
+        orders = block_orders_with_priority(trace, critical_path_priority, machine)
+    else:  # source
+        orders = block_orders_with_priority(trace, source_order_priority, machine)
+    for bb, order in zip(trace.blocks, orders):
+        print(f"{bb.name}: {' '.join(order)}")
+    if args.simulate:
+        sim = simulate_trace(trace, orders, machine)
+        print(f"completion: {sim.makespan} cycles "
+              f"(stalls: {sim.stall_cycles}, W={machine.window_size})")
+        print(sim.schedule.gantt())
+    return 0
+
+
+def cmd_ranks(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.file)
+    deadlines = {n: args.deadline for n in trace.graph.nodes}
+    ranks = compute_ranks(trace.graph, deadlines, _machine(args))
+    rows = [
+        [n, trace.blocks[trace.block_index(n)].name, ranks[n]]
+        for n in sorted(trace.graph.nodes, key=lambda n: ranks[n])
+    ]
+    print(format_table(["instruction", "block", "rank"], rows,
+                       title=f"ranks at deadline {args.deadline}"))
+    return 0
+
+
+def cmd_loop(args: argparse.Namespace) -> int:
+    blocks = parse_program(Path(args.file).read_text())
+    if len(blocks) != 1:
+        print("error: 'loop' needs a single-block program", file=sys.stderr)
+        return 2
+    _, instructions = blocks[0]
+    loop = build_loop_graph(instructions)
+    machine = _machine(args)
+    res = schedule_single_block_loop(loop, machine)
+    print("carried dependences:")
+    for e in loop.carried_edges():
+        print(f"  {e.src} -> {e.dst}  <{e.latency},{e.distance}>")
+    rows = [
+        [c.kind, c.pivot or "-", " ".join(c.order),
+         c.single_iteration_makespan, c.completion]
+        for c in res.candidates
+    ]
+    print(format_table(
+        ["transform", "pivot", "order", "1-iter", "horizon completion"],
+        rows, title="candidate schedules (§5.2.3)",
+    ))
+    ii = simulated_initiation_interval(loop, res.order, machine)
+    sim = simulate_loop_order(loop, res.order, args.iterations, machine)
+    print(f"chosen order: {' '.join(res.order)}")
+    print(f"steady-state II: {ii} cycles/iteration; "
+          f"{args.iterations} iterations complete in {sim.makespan} cycles")
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    if args.loop:
+        blocks = parse_program(Path(args.file).read_text())
+        if len(blocks) != 1:
+            print("error: --loop needs a single-block program", file=sys.stderr)
+            return 2
+        text = loop_to_dot(build_loop_graph(blocks[0][1]))
+    else:
+        text = trace_to_dot(_load_trace(args.file))
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Anticipatory instruction scheduling (SPAA'96) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="program in the repro textual format")
+        p.add_argument("--machine", choices=sorted(MACHINES), default="paper")
+        p.add_argument("--window", "-w", type=int, default=None,
+                       help="override the machine's lookahead window size")
+
+    p = sub.add_parser("schedule", help="schedule a trace and print block orders")
+    common(p)
+    p.add_argument(
+        "--scheduler",
+        choices=["anticipatory", "local", "critical-path", "source"],
+        default="anticipatory",
+    )
+    p.add_argument("--simulate", action="store_true",
+                   help="execute the result on the window simulator")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("ranks", help="print Rank-Algorithm ranks")
+    common(p)
+    p.add_argument("--deadline", type=int, default=100)
+    p.set_defaults(func=cmd_ranks)
+
+    p = sub.add_parser("loop", help="schedule a single-block loop (§5.2)")
+    common(p)
+    p.add_argument("--iterations", "-n", type=int, default=8)
+    p.set_defaults(func=cmd_loop)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT for a program")
+    common(p)
+    p.add_argument("--loop", action="store_true",
+                   help="derive and render the loop dependence graph")
+    p.add_argument("--output", "-o", default=None)
+    p.set_defaults(func=cmd_dot)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Core algorithms: Rank Algorithm, idle-slot delaying, Algorithm Lookahead,
+loop scheduling, legality checking, and the §4.2 heuristic generalizations."""
+
+from .chop import ChopResult, chop
+from .general import (
+    anticipatory_schedule,
+    class_demand,
+    compute_ranks_split,
+    delay_idle_slots_by_demand,
+)
+from .idle import (
+    IdleMoveResult,
+    delay_idle_slots,
+    makespan_deadlines,
+    move_idle_slot,
+    schedule_block_with_late_idle_slots,
+)
+from .legality import (
+    Inversion,
+    block_orders_of,
+    inversions,
+    is_legal_schedule,
+    satisfies_ordering_constraint,
+    satisfies_window_constraint,
+)
+from .lookahead import (
+    LookaheadResult,
+    LookaheadStep,
+    algorithm_lookahead,
+    local_block_orders,
+)
+from .loops import (
+    LoopCandidate,
+    LoopScheduleResult,
+    LoopTraceResult,
+    schedule_loop_trace,
+    schedule_single_block_loop,
+    single_sink_transform,
+    single_source_transform,
+)
+from .merge import MergeResult, merge
+from .rank import (
+    compute_ranks,
+    default_deadline,
+    fill_deadlines,
+    list_schedule,
+    minimum_makespan_schedule,
+    rank_priority_list,
+    rank_schedule,
+    rank_schedule_lenient,
+)
+from .schedule import (
+    SINGLE_UNIT,
+    IdleSlot,
+    Schedule,
+    ScheduleError,
+    Unit,
+)
+from .tardiness import TardinessResult, max_lateness, minimize_tardiness
+
+__all__ = [
+    "ChopResult",
+    "IdleMoveResult",
+    "IdleSlot",
+    "Inversion",
+    "LookaheadResult",
+    "LookaheadStep",
+    "LoopCandidate",
+    "LoopScheduleResult",
+    "LoopTraceResult",
+    "MergeResult",
+    "SINGLE_UNIT",
+    "Schedule",
+    "ScheduleError",
+    "TardinessResult",
+    "Unit",
+    "algorithm_lookahead",
+    "anticipatory_schedule",
+    "block_orders_of",
+    "chop",
+    "class_demand",
+    "compute_ranks",
+    "compute_ranks_split",
+    "default_deadline",
+    "delay_idle_slots",
+    "delay_idle_slots_by_demand",
+    "fill_deadlines",
+    "inversions",
+    "is_legal_schedule",
+    "list_schedule",
+    "local_block_orders",
+    "makespan_deadlines",
+    "max_lateness",
+    "merge",
+    "minimize_tardiness",
+    "minimum_makespan_schedule",
+    "move_idle_slot",
+    "rank_priority_list",
+    "rank_schedule",
+    "rank_schedule_lenient",
+    "satisfies_ordering_constraint",
+    "satisfies_window_constraint",
+    "schedule_block_with_late_idle_slots",
+    "schedule_loop_trace",
+    "schedule_single_block_loop",
+    "single_sink_transform",
+    "single_source_transform",
+]

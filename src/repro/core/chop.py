@@ -1,0 +1,95 @@
+"""Procedure Chop (paper Fig. 6).
+
+After merging and idle-slot delaying, the prefix of the schedule that can no
+longer interact with future basic blocks is *committed* (emitted) and removed
+from further consideration: only instructions within W−1 positions of the
+last useful idle slot can still be overlapped with later instructions through
+the hardware window.
+
+Chop finds the latest idle slot t_j with at least W−1 nodes after it, commits
+the prefix S⁻ up to t_j (the idle slot itself becomes a permanently idle
+cycle), keeps the suffix S⁺, and shifts the suffix's start times and
+deadlines down by t_j + 1.  If the schedule has no idle slot, has fewer than
+W nodes, or no idle slot has W−1 nodes after it, nothing is committed
+(S⁻ = ∅, S⁺ = S) — latency edges into future blocks could still create
+fillable idle time at the seam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from .schedule import Schedule
+
+
+@dataclass
+class ChopResult:
+    """Committed prefix (as an ordered node list), retained suffix schedule,
+    and the suffix deadlines shifted into the suffix's local time frame."""
+
+    committed: list[str]
+    suffix: Schedule
+    suffix_deadlines: dict[str, int]
+    #: Time shift applied to the suffix (t_j + 1), i.e. the number of cycles
+    #: the committed prefix consumes — 0 when nothing was committed.
+    shift: int
+
+
+def chop(
+    schedule: Schedule,
+    deadlines: Mapping[str, int],
+    window_size: int,
+) -> ChopResult:
+    """Run Procedure Chop with lookahead window ``window_size``.
+
+    Idle slots are *global* (every used unit idle): on the paper's
+    single-unit machine this is the ordinary idle-slot notion, and on
+    multi-unit machines it is the conservative generalization that keeps the
+    committed/retained split well defined (no instruction can start at or
+    straddle a global idle time).
+    """
+    if window_size < 1:
+        raise ValueError(f"window_size must be >= 1, got {window_size}")
+    graph = schedule.graph
+    no_chop = ChopResult(
+        [],
+        schedule,
+        {n: deadlines[n] for n in graph.nodes},
+        0,
+    )
+    idle_times = schedule.global_idle_times()
+    if not idle_times or len(graph) < window_size:
+        return no_chop
+
+    order = schedule.permutation()
+    position = {n: i for i, n in enumerate(order)}
+
+    # Commit up to the last idle slot the window can no longer reach.  An
+    # idle slot at time t with k nodes following it can be filled by a
+    # later-block instruction iff k <= W-1 (the window spans the k remaining
+    # old instructions plus W-k new ones); so the last *unfillable* slot is
+    # the largest t_j with at least W nodes after it, and every slot before
+    # it is unfillable too.
+    t_j: int | None = None
+    for t in reversed(idle_times):
+        after = sum(1 for n in order if schedule.start(n) > t)
+        if after >= window_size:
+            t_j = t
+            break
+    if t_j is None:
+        return no_chop
+
+    committed = [n for n in order if schedule.start(n) < t_j]
+    committed.sort(key=lambda n: position[n])
+    suffix_nodes = [n for n in order if schedule.start(n) > t_j]
+    shift = t_j + 1
+
+    sub = graph.subgraph(suffix_nodes)
+    suffix = Schedule(
+        sub,
+        {n: schedule.start(n) - shift for n in suffix_nodes},
+        {n: schedule.unit(n) for n in suffix_nodes},
+    )
+    suffix_deadlines = {n: deadlines[n] - shift for n in suffix_nodes}
+    return ChopResult(committed, suffix, suffix_deadlines, shift)

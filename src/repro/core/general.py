@@ -1,0 +1,138 @@
+"""General machine models (paper §4.2): heuristic variants and the top-level
+anticipatory-scheduling entry point.
+
+The optimal results hold for unit execution times, 0/1 latencies and a single
+functional unit; real machines add typed multiple units, multi-cycle
+instructions and longer latencies, for which "there is no hope of obtaining an
+optimal polynomial time algorithm" — the paper recommends using Algorithm
+Lookahead as a heuristic with the adjustments implemented here:
+
+* **split-rank** (§4.2 "Non-unit execution times", second variant): during
+  the backward schedule, a multi-cycle instruction is broken into unit
+  pieces placed independently at the latest free slots; the earliest piece's
+  start feeds the rank.  This keeps ranks true upper bounds with multiple
+  units (:func:`compute_ranks_split`).
+* **per-class idle-slot delaying** (§4.2 "Multiple Functional Units"):
+  process idle slots unit by unit, most-demanded functional-unit class
+  first (:func:`delay_idle_slots_by_demand`).
+* :func:`anticipatory_schedule` — one call that dispatches a trace, a loop
+  trace or a single-block loop to the right §4/§5 algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..ir.basicblock import LoopTrace, Trace
+from ..ir.depgraph import DependenceGraph
+from ..ir.loopgraph import LoopGraph
+from ..machine.model import MachineModel, single_unit_machine
+from .idle import delay_idle_slots
+from .lookahead import LookaheadResult, algorithm_lookahead
+from .loops import (
+    LoopScheduleResult,
+    LoopTraceResult,
+    schedule_loop_trace,
+    schedule_single_block_loop,
+)
+from .rank import _BackwardSlots, fill_deadlines
+from .schedule import Schedule, Unit
+
+
+def compute_ranks_split(
+    graph: DependenceGraph,
+    deadlines: Mapping[str, int] | None = None,
+    machine: MachineModel | None = None,
+) -> dict[str, int]:
+    """Rank computation with multi-cycle instructions split into unit pieces
+    in the backward schedule (§4.2's alternative that "maintains the upper
+    bound condition on the ranks in the multiple functional unit case").
+
+    Identical to :func:`repro.core.rank.compute_ranks` for unit execution
+    times.
+    """
+    machine = machine or single_unit_machine()
+    d = fill_deadlines(graph, deadlines)
+    ranks: dict[str, int] = {}
+    for x in reversed(graph.topological_order()):
+        rank = d[x]
+        descendants = graph.descendants(x)
+        if descendants:
+            slots = _BackwardSlots(machine)
+            starts: dict[str, int] = {}
+            for y in sorted(descendants, key=lambda n: ranks[n], reverse=True):
+                # Place exec_time(y) independent unit pieces; the earliest
+                # piece determines the backward start time.
+                earliest = ranks[y]
+                limit = ranks[y]
+                for _ in range(graph.exec_time(y)):
+                    end = slots.place(graph.fu_class(y), 1, limit)
+                    earliest = min(earliest, end)
+                    limit = end - 1
+                starts[y] = earliest - 1
+            rank = min(rank, min(starts.values()))
+            for y, lat in graph.successors(x).items():
+                rank = min(rank, starts[y] - lat)
+        ranks[x] = rank
+    return ranks
+
+
+def class_demand(graph: DependenceGraph, machine: MachineModel) -> list[str]:
+    """Functional-unit classes ordered by demand pressure: total execution
+    cycles requested divided by available units, descending."""
+    work: dict[str, int] = {}
+    for n in graph.nodes:
+        work[graph.fu_class(n)] = work.get(graph.fu_class(n), 0) + graph.exec_time(n)
+    pressures = []
+    for cls, cycles in work.items():
+        units = max(1, len(machine.units_for(cls)))
+        pressures.append((cycles / units, cls))
+    pressures.sort(reverse=True)
+    return [cls for _, cls in pressures]
+
+
+def delay_idle_slots_by_demand(
+    schedule: Schedule,
+    deadlines: dict[str, int] | None = None,
+    machine: MachineModel | None = None,
+) -> tuple[Schedule, dict[str, int]]:
+    """§4.2 multi-unit heuristic: delay idle slots one unit at a time,
+    starting with the units of the most-demanded class ("suppose that some
+    type of functional unit is in great demand ... reduce the deadlines of
+    nodes only on the specific type of functional unit")."""
+    machine = machine or single_unit_machine()
+    d = fill_deadlines(schedule.graph, deadlines)
+    classes = class_demand(schedule.graph, machine)
+    ordered_units: list[Unit] = []
+    for cls in classes:
+        for u in machine.units_for(cls):
+            if u not in ordered_units:
+                ordered_units.append(u)
+    for u in machine.unit_names():
+        if u not in ordered_units:
+            ordered_units.append(u)
+    for u in ordered_units:
+        if any(schedule.units[n] == u for n in schedule.starts):
+            schedule, d = delay_idle_slots(schedule, d, machine, unit=u)
+    return schedule, d
+
+
+def anticipatory_schedule(
+    program: Trace | LoopTrace | LoopGraph,
+    machine: MachineModel | None = None,
+) -> LookaheadResult | LoopTraceResult | LoopScheduleResult:
+    """Top-level dispatch of anticipatory instruction scheduling.
+
+    - :class:`~repro.ir.basicblock.LoopTrace` → §5.1 loop-trace algorithm;
+    - :class:`~repro.ir.loopgraph.LoopGraph` → §5.2 single-block loop
+      algorithm;
+    - plain :class:`~repro.ir.basicblock.Trace` → §4 Algorithm Lookahead.
+    """
+    machine = machine or single_unit_machine()
+    if isinstance(program, LoopTrace):
+        return schedule_loop_trace(program, machine)
+    if isinstance(program, LoopGraph):
+        return schedule_single_block_loop(program, machine)
+    if isinstance(program, Trace):
+        return algorithm_lookahead(program, machine)
+    raise TypeError(f"cannot schedule object of type {type(program).__name__}")

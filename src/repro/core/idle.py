@@ -1,0 +1,154 @@
+"""Idle-slot delaying: Procedure Move_Idle_Slot (Fig. 4) and
+Delay_Idle_Slots (Fig. 6).
+
+Moving idle slots as late as possible within a block's schedule — without
+increasing the makespan — is the paper's key enabling idea: a late idle slot
+can be filled at runtime by an instruction of the *next* basic block sitting
+in the hardware lookahead window.
+
+State model.  Deadlines are the single source of truth; ranks are always
+recomputed from the current deadlines (rank computation commutes with uniform
+deadline shifts, so this matches the paper's "decrement every deadline, and
+consequently every rank").  Each call to :func:`move_idle_slot`:
+
+1. clamps the deadlines of the nodes in the u-set σᵢ (scheduled between the
+   previous idle slot and tᵢ) to tᵢ — the paper's "this step insures that idle
+   slots don't move earlier"; these clamps are *retained* even on failure,
+   because later idle-slot processing relies on them;
+2. repeatedly forces the *tail* node (the node completing at tᵢ) one time
+   unit earlier — d(tail) := tᵢ − 1 — and re-runs the Rank Algorithm, until
+   the i-th idle slot moves later (success: keep all modifications) or the
+   deadline system becomes infeasible (failure: undo the tail reductions and
+   return the input schedule).
+
+In the optimal regime (unit times, 0/1 latencies, one FU) repeated
+application yields a minimum-makespan schedule in which every idle slot is as
+late as it can be over all optimal schedules (paper §3, citing [11]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.model import MachineModel, single_unit_machine
+from .rank import compute_ranks, fill_deadlines, rank_schedule
+from .schedule import SINGLE_UNIT, Schedule, Unit
+
+
+@dataclass
+class IdleMoveResult:
+    """Outcome of one :func:`move_idle_slot` call."""
+
+    schedule: Schedule
+    deadlines: dict[str, int]
+    #: Start time of the i-th idle slot after the call; ``None`` when the slot
+    #: was eliminated outright (possible only in heuristic, multi-unit cases).
+    new_time: int | None
+    moved: bool
+
+
+def move_idle_slot(
+    schedule: Schedule,
+    deadlines: dict[str, int],
+    index: int,
+    machine: MachineModel | None = None,
+    unit: Unit = SINGLE_UNIT,
+) -> IdleMoveResult:
+    """Try to delay the ``index``-th (0-based, by time) idle slot on ``unit``.
+
+    Returns the new schedule and deadline map on success; the input schedule
+    (with σᵢ deadline clamps retained) on failure.  ``deadlines`` must cover
+    every node (see :func:`repro.core.rank.fill_deadlines`); it is not
+    mutated — updated copies are returned.
+    """
+    machine = machine or single_unit_machine()
+    graph = schedule.graph
+    times = schedule.idle_times(unit)
+    if index >= len(times):
+        return IdleMoveResult(schedule, dict(deadlines), None, False)
+    t_i = times[index]
+    prev_t = times[index - 1] if index > 0 else -1
+
+    # Step 1: clamp σᵢ deadlines so the idle slot cannot move earlier.
+    clamped = dict(deadlines)
+    for n in graph.nodes:
+        if schedule.unit(n) == unit and prev_t < schedule.start(n) < t_i:
+            clamped[n] = min(clamped[n], t_i)
+    # (Nodes starting at prev_t + 0 == 0 when index == 0 are covered by
+    # prev_t = -1; an idle slot itself never holds a node.)
+
+    current = schedule
+    trial = dict(clamped)
+    for _ in range(len(graph) + 1):
+        tail = current.tail_node(t_i, unit)
+        if tail is None:
+            break  # nothing ends at the slot: cannot push it later
+        ranks = compute_ranks(graph, trial, machine)
+        if ranks[tail] < t_i:
+            break  # paper's guard: no node in σᵢ can still complete at tᵢ
+        trial[tail] = t_i - 1
+        new_sched, _ = rank_schedule(graph, trial, machine)
+        if new_sched is None:
+            break  # rank_alg cannot meet all deadlines
+        new_times = new_sched.idle_times(unit)
+        if index >= len(new_times):
+            return IdleMoveResult(new_sched, trial, None, True)
+        t_new = new_times[index]
+        if t_new > t_i:
+            return IdleMoveResult(new_sched, trial, t_new, True)
+        if t_new < t_i:
+            break  # defensive: should not happen given the clamps
+        current = new_sched  # same position, different arrangement: retry
+    # Failure: undo the tail reductions, keep the clamps, return input.
+    return IdleMoveResult(schedule, clamped, t_i, False)
+
+
+def delay_idle_slots(
+    schedule: Schedule,
+    deadlines: dict[str, int] | None = None,
+    machine: MachineModel | None = None,
+    unit: Unit = SINGLE_UNIT,
+) -> tuple[Schedule, dict[str, int]]:
+    """Procedure Delay_Idle_Slots (Fig. 6): process idle slots earliest to
+    latest, repeatedly delaying each one until it no longer moves.
+
+    Returns the final schedule and the finalized deadline map.
+    """
+    machine = machine or single_unit_machine()
+    d = fill_deadlines(schedule.graph, deadlines)
+    if unit not in schedule.busy_units():
+        return schedule, d  # nothing runs on this unit: nothing to delay
+    if not schedule.idle_times(unit):
+        return schedule, d
+    index = 0
+    while index < len(schedule.idle_times(unit)):
+        result = move_idle_slot(schedule, d, index, machine, unit)
+        schedule, d = result.schedule, result.deadlines
+        if result.new_time is None and result.moved:
+            continue  # slot eliminated: the next slot shifted into ``index``
+        if not result.moved:
+            index += 1  # cannot move further: freeze and go to the next slot
+        # else: moved later — keep working on the same positional slot.
+    return schedule, d
+
+
+def makespan_deadlines(schedule: Schedule) -> dict[str, int]:
+    """Uniform deadlines equal to the schedule's makespan — the paper's
+    reduction "give all sink nodes a rank of T" before idle-slot processing."""
+    span = schedule.makespan
+    return {n: span for n in schedule.graph.nodes}
+
+
+def schedule_block_with_late_idle_slots(
+    graph, machine: MachineModel | None = None, unit: Unit = SINGLE_UNIT
+) -> tuple[Schedule, dict[str, int]]:
+    """Convenience pipeline for a single basic block: Rank-Algorithm schedule
+    with the artificial deadline, then reduce deadlines to the makespan and
+    delay every idle slot as late as possible (paper §3, "Moving the idle
+    slots").  This is the per-block form of anticipatory scheduling used when
+    no trace or loop information is available (paper §1)."""
+    machine = machine or single_unit_machine()
+    sched, _ = rank_schedule(graph, None, machine)
+    assert sched is not None  # unconstrained scheduling cannot miss deadlines
+    d = makespan_deadlines(sched)
+    return delay_idle_slots(sched, d, machine, unit)

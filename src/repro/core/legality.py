@@ -1,0 +1,121 @@
+"""Legal-schedule checking (paper Definitions 2.1–2.3).
+
+A runtime schedule S (with issue permutation P) for a trace is *legal* iff
+
+- it satisfies all dependences,
+- **Window Constraint**: for every inversion (i, j) in P — the i-th issued
+  instruction belongs to a later basic block than the j-th with i < j —
+  ``j − i + 1 <= W``;
+- **Ordering Constraint**: S is obtainable as a greedy schedule from the
+  priority list L = P₁∘P₂∘…∘Pₘ of its per-block sub-permutations (the
+  hardware never issues a later ready window instruction over an earlier
+  ready one).
+
+Reproduction note — the span-based Window Constraint is *conservative*.
+The operational hardware model of §2.3 (a window of W contiguous *stream*
+instructions that slides when its head issues) can produce issue
+permutations whose inversion spans exceed W: when two or more later-block
+instructions overtake a stalled run of earlier-block instructions, other
+early issues pad the permutation between an inversion pair even though, at
+the moment each overtaking instruction issued, it was within W stream
+positions of every instruction it passed.  Definition 2.2 measures the span
+in the *issue permutation*, which over-counts those pad instructions.  This
+library therefore distinguishes:
+
+- :func:`satisfies_window_constraint` — the paper's Definition 2.2 check,
+  exactly as printed (useful for the theory, conservative in practice);
+- :func:`is_legal_schedule` — the operational check: the schedule must be
+  dependence-valid and *reproducible* as the windowed greedy execution of
+  its own priority list (the simulator is the machine model, so this is the
+  physically meaningful notion; it subsumes both of the paper's constraints
+  in their operational form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.basicblock import Trace
+from ..machine.model import MachineModel, single_unit_machine
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """Positions (i, j) in the issue permutation with i < j where position i
+    holds an instruction of a *later* block than position j."""
+
+    i: int
+    j: int
+    earlier_node: str
+    later_node: str
+
+    @property
+    def span(self) -> int:
+        return self.j - self.i + 1
+
+
+def inversions(trace: Trace, permutation: Sequence[str]) -> list[Inversion]:
+    """All block-order inversions of ``permutation`` (Definition 2.2)."""
+    blocks = [trace.block_index(n) for n in permutation]
+    out: list[Inversion] = []
+    for i in range(len(permutation)):
+        for j in range(i + 1, len(permutation)):
+            if blocks[i] > blocks[j]:
+                out.append(Inversion(i, j, permutation[i], permutation[j]))
+    return out
+
+
+def satisfies_window_constraint(
+    trace: Trace, permutation: Sequence[str], window_size: int
+) -> bool:
+    """Every inversion must fit in the lookahead window: span <= W."""
+    return all(inv.span <= window_size for inv in inversions(trace, permutation))
+
+
+def block_orders_of(trace: Trace, permutation: Sequence[str]) -> list[list[str]]:
+    """Sub-permutations P₁,…,Pₘ of ``permutation`` (Definition 2.1)."""
+    out: list[list[str]] = [[] for _ in range(trace.num_blocks)]
+    for n in permutation:
+        out[trace.block_index(n)].append(n)
+    return out
+
+
+def satisfies_ordering_constraint(
+    trace: Trace,
+    schedule: Schedule,
+    machine: MachineModel | None = None,
+) -> bool:
+    """S must be reproducible as the greedy window execution of its own
+    priority list L = P₁∘…∘Pₘ — same start times for every instruction."""
+    from ..sim.window import simulate_window
+
+    machine = machine or single_unit_machine()
+    perm = schedule.permutation()
+    priority = [n for order in block_orders_of(trace, perm) for n in order]
+    sim = simulate_window(trace.graph, priority, machine)
+    return all(sim.start(n) == schedule.start(n) for n in trace.graph.nodes)
+
+
+def is_legal_schedule(
+    trace: Trace,
+    schedule: Schedule,
+    machine: MachineModel | None = None,
+    strict: bool = False,
+) -> bool:
+    """Operational legality: dependences + reproducibility as the windowed
+    greedy execution of the schedule's own priority list.
+
+    With ``strict=True`` the paper's literal span-based Window Constraint
+    (Definition 2.2) is additionally required — see the module docstring for
+    why the operational hardware can legitimately violate it.
+    """
+    machine = machine or single_unit_machine()
+    if not schedule.is_valid():
+        return False
+    if strict:
+        perm = schedule.permutation()
+        if not satisfies_window_constraint(trace, perm, machine.window_size):
+            return False
+    return satisfies_ordering_constraint(trace, schedule, machine)

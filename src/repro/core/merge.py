@@ -1,0 +1,113 @@
+"""Procedure Merge (paper Fig. 7).
+
+Merges the uncommitted suffix of the schedule built so far (``old``) with the
+instructions of the next basic block (``new``), producing a schedule of
+``old ∪ new`` in which new instructions may only *fill idle slots* between old
+instructions — they never displace them.  This is enforced with deadlines:
+
+1. a first Rank-Algorithm pass with the artificial large deadline gives a
+   lower bound T on the merged makespan;
+2. old nodes keep ``d(w) := min(d(w), T_old)`` (T_old = makespan of the old
+   suffix schedule), so the old instructions still finish in their own
+   window; new nodes get ``d(w) := T``;
+3. if the deadline system is infeasible, all *new* deadlines are increased by
+   one until a feasible schedule exists (paper: at most 2W iterations in the
+   optimal regime — we bound the loop by a provable fallback deadline and
+   fall back to a best-effort lenient schedule in heuristic regimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..ir.depgraph import DependenceGraph
+from ..machine.model import MachineModel, single_unit_machine
+from .rank import (
+    minimum_makespan_schedule,
+    rank_schedule,
+    rank_schedule_lenient,
+)
+from .schedule import Schedule
+
+
+@dataclass
+class MergeResult:
+    """Schedule of ``old ∪ new`` plus the deadline map that produced it."""
+
+    schedule: Schedule
+    deadlines: dict[str, int]
+    #: Lower bound T on the merged makespan (first, unconstrained pass).
+    lower_bound: int
+    #: Number of +1 deadline relaxations needed (0 in the optimal regime when
+    #: the lower bound is achievable).
+    relaxations: int
+    #: False when even the fallback deadline failed and a lenient best-effort
+    #: schedule was accepted (only possible in heuristic machine models).
+    feasible: bool
+
+
+def merge(
+    trace_graph: DependenceGraph,
+    old_nodes: Iterable[str],
+    old_deadlines: Mapping[str, int],
+    old_makespan: int,
+    new_nodes: Iterable[str],
+    machine: MachineModel | None = None,
+) -> MergeResult:
+    """Run Procedure Merge on ``old ∪ new`` within ``trace_graph``.
+
+    ``trace_graph`` supplies the dependence edges (including the cross-block
+    edges from old to new); ``old_deadlines`` are the deadlines carried by the
+    old suffix (already shifted by chop); ``old_makespan`` is T_old.
+    """
+    machine = machine or single_unit_machine()
+    old_list = list(old_nodes)
+    new_list = list(new_nodes)
+    overlap = set(old_list) & set(new_list)
+    if overlap:
+        raise ValueError(f"old and new overlap: {sorted(overlap)}")
+    cur = trace_graph.subgraph(old_list + new_list)
+
+    # Pass 1: lower bound with the artificial deadline only.
+    lower = minimum_makespan_schedule(cur, machine).makespan
+
+    deadlines: dict[str, int] = {}
+    for w in old_list:
+        deadlines[w] = min(old_deadlines.get(w, old_makespan), old_makespan)
+    new_deadline = lower
+    for w in new_list:
+        deadlines[w] = new_deadline
+
+    # A deadline that is always sufficient in the optimal regime: schedule old
+    # alone (feasible by construction of its deadlines), then new strictly
+    # after, separated by the largest latency in the graph.
+    max_lat = max((lat for _, _, lat in cur.edges()), default=0)
+    new_alone = (
+        minimum_makespan_schedule(cur.subgraph(new_list), machine).makespan
+        if new_list
+        else 0
+    )
+    fallback = old_makespan + max_lat + new_alone
+
+    relaxations = 0
+    while True:
+        sched, _ = rank_schedule(cur, deadlines, machine)
+        if sched is not None:
+            return MergeResult(sched, deadlines, lower, relaxations, True)
+        if new_deadline >= max(fallback, lower) + len(cur):
+            break  # heuristic regime: give up on exact deadline search
+        new_deadline += 1
+        relaxations += 1
+        for w in new_list:
+            deadlines[w] = new_deadline
+
+    # Best-effort fallback: accept the greedy rank schedule and rewrite the
+    # new nodes' deadlines to its completion times so downstream phases see a
+    # consistent (self-feasible) state.
+    sched, _, _ = rank_schedule_lenient(cur, deadlines, machine)
+    for w in new_list:
+        deadlines[w] = max(deadlines[w], sched.completion(w))
+    for w in old_list:
+        deadlines[w] = max(deadlines[w], sched.completion(w))
+    return MergeResult(sched, deadlines, lower, relaxations, False)

@@ -1,0 +1,81 @@
+"""Instruction IR substrate: instructions, dependence graphs, blocks, traces."""
+
+from .basicblock import (
+    BasicBlock,
+    LoopTrace,
+    Trace,
+    block_from_graph,
+    single_block_trace,
+)
+from .builder import build_block, build_dependence_graph, build_trace
+from .cfg import CFGEdge, ControlFlowGraph
+from .depgraph import CycleError, DependenceGraph, graph_from_edges
+from .instruction import (
+    ANY,
+    BRANCH,
+    FIXED,
+    FLOAT,
+    FU_CLASSES,
+    MEMORY,
+    Instruction,
+    make_instructions,
+)
+from .loop_builder import build_loop_graph
+from .loopgraph import LoopEdge, LoopGraph, instance_name, loop_from_edges
+from .parser import ParseError, parse_program, parse_trace
+from .regalloc import (
+    AllocationError,
+    LiveInterval,
+    SpillAllocation,
+    allocate_registers,
+    allocate_with_spills,
+    live_intervals,
+    minimum_registers,
+    rename_registers,
+    spill_count,
+)
+from .unroll import reroll_orders, unroll_loop, unrolled_name
+
+__all__ = [
+    "ANY",
+    "AllocationError",
+    "BRANCH",
+    "BasicBlock",
+    "CFGEdge",
+    "ControlFlowGraph",
+    "CycleError",
+    "DependenceGraph",
+    "FIXED",
+    "FLOAT",
+    "FU_CLASSES",
+    "Instruction",
+    "LiveInterval",
+    "LoopEdge",
+    "LoopGraph",
+    "LoopTrace",
+    "MEMORY",
+    "ParseError",
+    "SpillAllocation",
+    "Trace",
+    "allocate_registers",
+    "allocate_with_spills",
+    "block_from_graph",
+    "build_block",
+    "build_dependence_graph",
+    "build_loop_graph",
+    "build_trace",
+    "graph_from_edges",
+    "instance_name",
+    "live_intervals",
+    "loop_from_edges",
+    "make_instructions",
+    "minimum_registers",
+    "parse_program",
+    "parse_trace",
+    "rename_registers",
+    "reroll_orders",
+    "single_block_trace",
+    "spill_count",
+    "unroll_loop",
+    "unrolled_name",
+]

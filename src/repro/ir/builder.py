@@ -1,0 +1,105 @@
+"""Dependence-graph construction from instruction operand information.
+
+Implements the classic def-use analysis used by post-pass schedulers
+(Hennessy-Gross [9], Gibbons-Muchnick [8], as cited in paper §6): RAW edges
+carry the producer's result latency; WAR and WAW edges carry latency 0 (the
+consumer only needs to be *ordered* after); memory accesses conflict when
+they may touch the same abstract location (a store against any access of the
+same location, or of the wildcard ``"*"``); and every non-branch instruction
+is control-dependent on the block-terminating branch (latency 0), matching the
+control-dependence edges of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .basicblock import BasicBlock, Trace
+from .depgraph import DependenceGraph
+from .instruction import Instruction
+
+
+def _mem_conflict(a: Iterable[str], b: Iterable[str]) -> bool:
+    sa, sb = set(a), set(b)
+    if not sa or not sb:
+        return False
+    return "*" in sa or "*" in sb or bool(sa & sb)
+
+
+def build_dependence_graph(instructions: Sequence[Instruction]) -> DependenceGraph:
+    """Build the intra-block dependence DAG of a straight-line sequence.
+
+    Edges (earlier ``u`` to later ``v`` in program order):
+
+    - RAW: ``v`` reads a register ``u`` writes — latency ``u.latency``;
+    - WAW: ``v`` writes a register ``u`` writes — latency 0;
+    - WAR: ``v`` writes a register ``u`` reads — latency 0;
+    - memory RAW (store then load of a conflicting location) —
+      latency ``u.latency``; memory WAR/WAW — latency 0;
+    - control: every instruction precedes the block's branch — latency 0.
+    """
+    g = DependenceGraph()
+    for instr in instructions:
+        g.add_instruction(instr)
+    for j, v in enumerate(instructions):
+        for i in range(j):
+            u = instructions[i]
+            lat: int | None = None
+            if set(u.writes) & set(v.reads):
+                lat = u.latency  # RAW
+            elif set(u.writes) & set(v.writes) or set(u.reads) & set(v.writes):
+                lat = 0  # WAW / WAR
+            if _mem_conflict(u.stores, v.loads):
+                lat = max(lat if lat is not None else 0, u.latency)  # memory RAW
+            elif _mem_conflict(u.stores, v.stores) or _mem_conflict(u.loads, v.stores):
+                lat = max(lat if lat is not None else 0, 0)  # memory WAW / WAR
+            if v.is_branch and lat is None:
+                lat = 0  # control dependence
+            if lat is not None:
+                g.add_edge(u.name, v.name, lat)
+    return g
+
+
+def build_block(name: str, instructions: Sequence[Instruction]) -> BasicBlock:
+    """Build a :class:`BasicBlock` with its derived dependence graph."""
+    return BasicBlock(
+        name=name,
+        graph=build_dependence_graph(instructions),
+        instructions=list(instructions),
+    )
+
+
+def build_trace(
+    named_blocks: Sequence[tuple[str, Sequence[Instruction]]],
+) -> Trace:
+    """Build a :class:`Trace` from instruction sequences, deriving cross-block
+    dependence edges with the same def-use rules applied across blocks.
+
+    Branches only collect control dependences from their *own* block; register
+    and memory dependences cross blocks freely (they are what the hardware
+    window must respect at runtime).
+    """
+    blocks = [build_block(name, instrs) for name, instrs in named_blocks]
+    flat: list[tuple[int, Instruction]] = []
+    for bi, (_, instrs) in enumerate(named_blocks):
+        for instr in instrs:
+            flat.append((bi, instr))
+
+    cross: list[tuple[str, str, int]] = []
+    for j, (bj, v) in enumerate(flat):
+        for i in range(j):
+            bi, u = flat[i]
+            if bi == bj:
+                continue  # intra-block edges already built
+            lat: int | None = None
+            if set(u.writes) & set(v.reads):
+                lat = u.latency
+            elif set(u.writes) & set(v.writes) or set(u.reads) & set(v.writes):
+                lat = 0
+            if _mem_conflict(u.stores, v.loads):
+                lat = max(lat if lat is not None else 0, u.latency)
+            elif _mem_conflict(u.stores, v.stores) or _mem_conflict(u.loads, v.stores):
+                lat = max(lat if lat is not None else 0, 0)
+            if lat is not None:
+                cross.append((u.name, v.name, lat))
+    return Trace(blocks, cross_edges=cross)

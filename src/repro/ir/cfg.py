@@ -1,0 +1,125 @@
+"""Control-flow graphs and trace selection.
+
+A trace is "a sequence of basic blocks obtained by following a simple path in
+the program's control flow graph" (paper, footnote 2).  Anticipatory
+scheduling pairs naturally with hardware branch prediction: the window is
+filled with instructions from the block *predicted* to execute next.  This
+module provides a small CFG with branch probabilities and the standard
+Fisher-style greedy trace selection (most-probable successor first), which the
+example applications and workload generators use to pick the trace handed to
+``Algorithm Lookahead``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .basicblock import BasicBlock, Trace
+
+
+@dataclass
+class CFGEdge:
+    src: str
+    dst: str
+    probability: float
+
+
+class ControlFlowGraph:
+    """A CFG over named basic blocks with branch probabilities."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, BasicBlock] = {}
+        self._succ: dict[str, list[CFGEdge]] = {}
+        self._pred: dict[str, list[CFGEdge]] = {}
+        self._order: list[str] = []
+        self.entry: str | None = None
+
+    def add_block(self, block: BasicBlock, entry: bool = False) -> None:
+        if block.name in self._blocks:
+            raise ValueError(f"duplicate block {block.name!r}")
+        self._blocks[block.name] = block
+        self._succ[block.name] = []
+        self._pred[block.name] = []
+        self._order.append(block.name)
+        if entry or self.entry is None:
+            if entry:
+                self.entry = block.name
+            elif self.entry is None:
+                self.entry = block.name
+
+    def add_edge(self, src: str, dst: str, probability: float = 1.0) -> None:
+        if src not in self._blocks or dst not in self._blocks:
+            missing = src if src not in self._blocks else dst
+            raise KeyError(f"unknown block {missing!r}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        edge = CFGEdge(src, dst, probability)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+
+    def block(self, name: str) -> BasicBlock:
+        return self._blocks[name]
+
+    @property
+    def block_names(self) -> list[str]:
+        return list(self._order)
+
+    def successors(self, name: str) -> list[CFGEdge]:
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> list[CFGEdge]:
+        return list(self._pred[name])
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # Trace selection -------------------------------------------------------------
+
+    def select_trace_blocks(
+        self, start: str | None = None, max_blocks: int | None = None
+    ) -> list[str]:
+        """Greedy most-probable-path trace selection from ``start``.
+
+        Follows the highest-probability outgoing edge (ties broken by
+        insertion order) until the path would revisit a block, has no
+        successor, or reaches ``max_blocks``.  This mirrors the profile-driven
+        selection of trace scheduling [7] that the paper positions itself
+        against — the same traces feed both techniques.
+        """
+        if start is None:
+            start = self.entry
+        if start is None or start not in self._blocks:
+            raise KeyError(f"unknown start block {start!r}")
+        path = [start]
+        visited = {start}
+        while max_blocks is None or len(path) < max_blocks:
+            edges = self._succ[path[-1]]
+            if not edges:
+                break
+            best = max(edges, key=lambda e: e.probability)
+            if best.dst in visited:
+                break
+            path.append(best.dst)
+            visited.add(best.dst)
+        return path
+
+    def build_trace(
+        self,
+        block_names: list[str] | None = None,
+        cross_edges: list[tuple[str, str, int]] | None = None,
+    ) -> Trace:
+        """Materialize a :class:`Trace` for the given (or greedily selected)
+        block path, keeping only cross edges internal to the path."""
+        if block_names is None:
+            block_names = self.select_trace_blocks()
+        blocks = [self._blocks[n] for n in block_names]
+        keep: list[tuple[str, str, int]] = []
+        if cross_edges:
+            members: dict[str, int] = {}
+            for i, bb in enumerate(blocks):
+                for n in bb.node_names:
+                    members[n] = i
+            for u, v, lat in cross_edges:
+                if u in members and v in members and members[u] < members[v]:
+                    keep.append((u, v, lat))
+        return Trace(blocks, cross_edges=keep)

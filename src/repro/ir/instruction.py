@@ -1,0 +1,112 @@
+"""Instruction representation for the toy target ISA.
+
+The paper's algorithms only need (a) a unique identity per instruction,
+(b) an execution time, (c) a functional-unit class, and (d) enough operand
+information to build a dependence graph.  We model instructions after the
+RS/6000-like fragment in Figure 3 of the paper: general-purpose registers
+``gr*``, condition registers ``cr*``, and memory accesses expressed through
+explicit ``loads``/``stores`` operand sets so the dependence builder can add
+memory edges conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Functional-unit class names used across the library.  ``ANY`` matches every
+#: unit; the others mirror a simple superscalar split.
+ANY = "any"
+FIXED = "fixed"
+FLOAT = "float"
+MEMORY = "memory"
+BRANCH = "branch"
+
+FU_CLASSES = (ANY, FIXED, FLOAT, MEMORY, BRANCH)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single machine instruction.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the enclosing program (also used as the
+        dependence-graph node id).
+    opcode:
+        Mnemonic, purely informational to the schedulers.
+    reads / writes:
+        Register names read / written.  Used by
+        :func:`repro.ir.builder.build_dependence_graph` to derive RAW, WAR
+        and WAW edges.
+    loads / stores:
+        Abstract memory location names accessed.  Two accesses to the same
+        location (or to the special wildcard ``"*"``) conflict.
+    exec_time:
+        Number of cycles the instruction occupies its functional unit.
+        The paper's core results assume 1 (unit execution time).
+    latency:
+        Result latency: a dependent instruction can start
+        ``exec_time + latency`` cycles after this one starts, i.e. ``latency``
+        cycles after it completes.  The paper's core results assume 0/1.
+    fu_class:
+        Functional-unit class required (:data:`ANY` runs anywhere).
+    is_branch:
+        Branches terminate basic blocks and receive control-dependence edges
+        from every other instruction in the block.
+    """
+
+    name: str
+    opcode: str = "op"
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    loads: tuple[str, ...] = ()
+    stores: tuple[str, ...] = ()
+    exec_time: int = 1
+    latency: int = 1
+    fu_class: str = ANY
+    is_branch: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("instruction name must be non-empty")
+        if self.exec_time < 1:
+            raise ValueError(f"exec_time must be >= 1, got {self.exec_time}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.fu_class not in FU_CLASSES:
+            raise ValueError(f"unknown fu_class {self.fu_class!r}")
+
+    # Convenience constructors -------------------------------------------------
+
+    @staticmethod
+    def simple(name: str, latency: int = 1) -> "Instruction":
+        """Unit-time instruction with the given result latency (paper model)."""
+        return Instruction(name=name, latency=latency)
+
+    def with_name(self, name: str) -> "Instruction":
+        """Copy of this instruction under a different unique name."""
+        return Instruction(
+            name=name,
+            opcode=self.opcode,
+            reads=self.reads,
+            writes=self.writes,
+            loads=self.loads,
+            stores=self.stores,
+            exec_time=self.exec_time,
+            latency=self.latency,
+            fu_class=self.fu_class,
+            is_branch=self.is_branch,
+        )
+
+    def touches_memory(self) -> bool:
+        return bool(self.loads or self.stores)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}:{self.opcode}"
+
+
+def make_instructions(names: Iterable[str], **kwargs) -> list[Instruction]:
+    """Build a list of homogeneous instructions from bare names."""
+    return [Instruction(name=n, **kwargs) for n in names]

@@ -1,0 +1,123 @@
+"""Derive loop dependence graphs from instruction sequences.
+
+Given the body of a single-basic-block loop as an instruction sequence, this
+module derives both the loop-independent (distance 0) and the loop-carried
+(distance ≥ 1) dependences by running the def-use analysis across a virtual
+iteration boundary: instruction ``u`` of iteration k and instruction ``v`` of
+iteration k+d conflict exactly as in straight-line code.
+
+Only the *nearest* dependence is recorded for each (u, v) pair and kind:
+if ``u`` writes r1, ``v`` reads r1, and some instruction between them (in the
+wrap-around order) also writes r1, the carried edge u→v is superseded —
+matching what a compiler's reaching-definitions analysis would produce.
+
+The derivation reproduces the hand-written edge list of the paper's Figure 3
+(see ``tests/ir/test_loop_builder.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .builder import _mem_conflict
+from .instruction import Instruction
+from .loopgraph import LoopGraph
+
+
+def _last_writer_between(
+    instructions: Sequence[Instruction], reg: str, start: int, end_wrapped: int
+) -> bool:
+    """True iff some instruction strictly between position ``start`` (excl.)
+    and ``end_wrapped`` (excl., measured in the unrolled order ``start <
+    ... < len + end_wrapped``) writes ``reg``.  Used to keep only nearest
+    dependences."""
+    n = len(instructions)
+    for pos in range(start + 1, n + end_wrapped):
+        inst = instructions[pos % n]
+        if reg in inst.writes:
+            return True
+    return False
+
+
+def build_loop_graph(
+    instructions: Sequence[Instruction],
+    max_distance: int = 1,
+) -> LoopGraph:
+    """Build a :class:`LoopGraph` for a single-block loop body.
+
+    Distance-0 edges are exactly :func:`repro.ir.builder
+    .build_dependence_graph`'s output (including control dependences onto a
+    terminating branch).  Distance-1 edges connect iteration k to k+1
+    wherever a register or memory conflict survives intervening kills.
+    ``max_distance`` > 1 is accepted but conservative: all carried register
+    dependences are nearest, hence distance 1; memory conflicts are likewise
+    modelled at distance 1 (a compiler without array dependence analysis
+    must assume the nearest iteration may conflict).
+    """
+    if max_distance < 1:
+        raise ValueError("max_distance must be >= 1")
+    seq = list(instructions)
+    n = len(seq)
+    if n == 0:
+        raise ValueError("loop body must be non-empty")
+
+    g = LoopGraph()
+    for inst in seq:
+        g.add_node(inst.name, exec_time=inst.exec_time, fu_class=inst.fu_class)
+
+    # Intra-iteration (distance 0) — same rules as straight-line code.
+    for j, v in enumerate(seq):
+        for i in range(j):
+            u = seq[i]
+            lat = _conflict_latency(u, v)
+            if v.is_branch and lat is None:
+                lat = 0
+            if lat is not None:
+                g.add_edge(u.name, v.name, lat, 0)
+
+    # Cross-iteration (distance 1): u in iteration k at position i, v in
+    # iteration k+1 at position j — every pair, including i >= j and i == j
+    # (self dependences, e.g. induction variables).
+    for i, u in enumerate(seq):
+        for j, v in enumerate(seq):
+            lat = _carried_conflict_latency(seq, i, j)
+            if lat is not None:
+                g.add_edge(u.name, v.name, lat, 1)
+    return g
+
+
+def _conflict_latency(u: Instruction, v: Instruction) -> int | None:
+    """Dependence latency between earlier ``u`` and later ``v`` (or None)."""
+    lat: int | None = None
+    if set(u.writes) & set(v.reads):
+        lat = u.latency
+    elif set(u.writes) & set(v.writes) or set(u.reads) & set(v.writes):
+        lat = 0
+    if _mem_conflict(u.stores, v.loads):
+        lat = max(lat if lat is not None else 0, u.latency)
+    elif _mem_conflict(u.stores, v.stores) or _mem_conflict(u.loads, v.stores):
+        lat = max(lat if lat is not None else 0, 0)
+    return lat
+
+
+def _carried_conflict_latency(
+    seq: Sequence[Instruction], i: int, j: int
+) -> int | None:
+    """Latency of the carried dependence from seq[i]@k to seq[j]@k+1, with
+    nearest-definition filtering for register RAW edges (an intervening
+    write to the register kills the dependence)."""
+    u, v = seq[i], seq[j]
+    lat: int | None = None
+    raw_regs = set(u.writes) & set(v.reads)
+    live_raw = {
+        r for r in raw_regs if not _last_writer_between(seq, r, i, j)
+    }
+    if live_raw:
+        lat = u.latency
+    elif set(u.writes) & set(v.writes) or set(u.reads) & set(v.writes):
+        lat = 0
+    if _mem_conflict(u.stores, v.loads):
+        lat = max(lat if lat is not None else 0, u.latency)
+    elif _mem_conflict(u.stores, v.stores) or _mem_conflict(u.loads, v.stores):
+        lat = max(lat if lat is not None else 0, 0)
+    return lat

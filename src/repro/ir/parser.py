@@ -1,0 +1,115 @@
+"""A tiny textual format for writing instruction sequences in examples/tests.
+
+The format is line oriented::
+
+    # comment
+    block CL.18
+      L4AU  op=load  defs=gr6,gr7 uses=gr7      loads=x  lat=1 fu=memory
+      ST4U  op=store defs=gr5     uses=gr5,gr0  stores=y lat=1 fu=memory
+      C4    op=cmp   defs=cr1     uses=gr6               lat=1
+      M     op=mul   defs=gr0     uses=gr6,gr0           lat=4
+      BT    op=bt                 uses=cr1               branch
+
+Each instruction line starts with a unique name followed by ``key=value``
+attributes (``op``, ``defs``, ``uses``, ``loads``, ``stores``, ``lat``,
+``time``, ``fu``) and the bare flag ``branch``.  ``block NAME`` opens a new
+basic block.  :func:`parse_program` returns the named instruction sequences;
+:func:`parse_trace` additionally derives all dependence edges via
+:mod:`repro.ir.builder`.
+"""
+
+from __future__ import annotations
+
+from .basicblock import Trace
+from .builder import build_trace
+from .instruction import ANY, Instruction
+
+
+class ParseError(ValueError):
+    """Raised on malformed program text, with a 1-based line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_LIST_KEYS = {"defs", "uses", "loads", "stores"}
+_INT_KEYS = {"lat", "time"}
+_STR_KEYS = {"op", "fu"}
+
+
+def _parse_instruction(lineno: int, tokens: list[str], seen: set[str]) -> Instruction:
+    name = tokens[0]
+    if name in seen:
+        raise ParseError(lineno, f"duplicate instruction name {name!r}")
+    attrs: dict[str, object] = {}
+    is_branch = False
+    for tok in tokens[1:]:
+        if tok == "branch":
+            is_branch = True
+            continue
+        if "=" not in tok:
+            raise ParseError(lineno, f"expected key=value, got {tok!r}")
+        key, _, value = tok.partition("=")
+        if key in _LIST_KEYS:
+            attrs[key] = tuple(v for v in value.split(",") if v)
+        elif key in _INT_KEYS:
+            try:
+                attrs[key] = int(value)
+            except ValueError:
+                raise ParseError(lineno, f"{key} needs an integer, got {value!r}")
+        elif key in _STR_KEYS:
+            attrs[key] = value
+        else:
+            raise ParseError(lineno, f"unknown attribute {key!r}")
+    try:
+        return Instruction(
+            name=name,
+            opcode=str(attrs.get("op", "op")),
+            reads=attrs.get("uses", ()),  # type: ignore[arg-type]
+            writes=attrs.get("defs", ()),  # type: ignore[arg-type]
+            loads=attrs.get("loads", ()),  # type: ignore[arg-type]
+            stores=attrs.get("stores", ()),  # type: ignore[arg-type]
+            exec_time=int(attrs.get("time", 1)),  # type: ignore[arg-type]
+            latency=int(attrs.get("lat", 1)),  # type: ignore[arg-type]
+            fu_class=str(attrs.get("fu", ANY)),
+            is_branch=is_branch,
+        )
+    except ValueError as exc:
+        raise ParseError(lineno, str(exc)) from exc
+
+
+def parse_program(text: str) -> list[tuple[str, list[Instruction]]]:
+    """Parse program text into ``[(block_name, instructions), ...]``."""
+    blocks: list[tuple[str, list[Instruction]]] = []
+    seen: set[str] = set()
+    current: list[Instruction] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "block":
+            if len(tokens) != 2:
+                raise ParseError(lineno, "block takes exactly one name")
+            if any(name == tokens[1] for name, _ in blocks):
+                raise ParseError(lineno, f"duplicate block name {tokens[1]!r}")
+            current = []
+            blocks.append((tokens[1], current))
+            continue
+        if current is None:
+            raise ParseError(lineno, "instruction before any 'block' directive")
+        instr = _parse_instruction(lineno, tokens, seen)
+        seen.add(instr.name)
+        current.append(instr)
+    if not blocks:
+        raise ParseError(1, "empty program: no blocks")
+    for name, instrs in blocks:
+        if not instrs:
+            raise ParseError(1, f"block {name!r} has no instructions")
+    return blocks
+
+
+def parse_trace(text: str) -> Trace:
+    """Parse program text and build the trace with derived dependence edges."""
+    return build_trace(parse_program(text))

@@ -1,0 +1,316 @@
+"""Register renaming and linear-scan register allocation.
+
+Paper §6 discusses how the related local schedulers interact with register
+allocation: Gibbons-Muchnick [8] encode allocator-induced anti-dependences as
+extra dependence edges, and the PL.8 approach [2] schedules *renamed* code so
+"the scheduler [need not] explicitly deal with constraints introduced by
+register allocation, other than those encoded in the dependence graph".
+
+This module provides both halves of that study:
+
+- :func:`rename_registers` — SSA-style renaming of a straight-line sequence:
+  every definition gets a fresh virtual register, uses refer to the reaching
+  definition.  This removes all WAR/WAW register dependences, maximizing the
+  scheduler's freedom.
+- :func:`allocate_registers` — classic linear-scan allocation of the virtual
+  registers onto K physical registers along a given instruction order.  With
+  small K the allocator reuses registers aggressively, *re-introducing*
+  WAR/WAW dependences into the rebuilt dependence graph; sweeping K
+  quantifies how register pressure erodes the benefit of anticipatory
+  scheduling (benchmark E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .instruction import Instruction
+
+
+class AllocationError(RuntimeError):
+    """Raised when the live ranges need more physical registers than exist."""
+
+
+def rename_registers(
+    instructions: Sequence[Instruction], prefix: str = "v"
+) -> list[Instruction]:
+    """SSA-style renaming: each definition introduces a fresh register name
+    ``{prefix}{k}``; each use reads the most recent definition of its
+    original register (live-in registers keep their original names).
+    Memory operand sets and everything else are preserved."""
+    current: dict[str, str] = {}
+    fresh = 0
+    out: list[Instruction] = []
+    for inst in instructions:
+        reads = tuple(current.get(r, r) for r in inst.reads)
+        writes = []
+        for w in inst.writes:
+            name = f"{prefix}{fresh}"
+            fresh += 1
+            current[w] = name
+            writes.append(name)
+        out.append(
+            Instruction(
+                name=inst.name,
+                opcode=inst.opcode,
+                reads=reads,
+                writes=tuple(writes),
+                loads=inst.loads,
+                stores=inst.stores,
+                exec_time=inst.exec_time,
+                latency=inst.latency,
+                fu_class=inst.fu_class,
+                is_branch=inst.is_branch,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """Live range of one virtual register along an instruction order."""
+
+    register: str
+    start: int  # position of the defining instruction (-1 for live-in)
+    end: int  # position of the last use (inclusive)
+
+
+def live_intervals(
+    instructions: Sequence[Instruction], order: Sequence[str]
+) -> list[LiveInterval]:
+    """Live intervals of every register along ``order`` (a permutation of
+    the instruction names).  Registers used before any definition are
+    live-in (start = -1); registers never used after their definition still
+    occupy their defining slot."""
+    by_name = {i.name: i for i in instructions}
+    if sorted(order) != sorted(by_name):
+        raise ValueError("order must be a permutation of the instructions")
+    start: dict[str, int] = {}
+    end: dict[str, int] = {}
+    for pos, name in enumerate(order):
+        inst = by_name[name]
+        for r in inst.reads:
+            if r not in start:
+                start[r] = -1  # live-in
+            end[r] = pos
+        for r in inst.writes:
+            # A redefinition extends the same physical-name demand; for
+            # renamed code each register has exactly one definition.
+            if r not in start or start[r] == -1:
+                start[r] = pos
+            end[r] = max(end.get(r, pos), pos)
+    return sorted(
+        (LiveInterval(r, start[r], end[r]) for r in start),
+        key=lambda iv: (iv.start, iv.end, iv.register),
+    )
+
+
+def allocate_registers(
+    instructions: Sequence[Instruction],
+    order: Sequence[str],
+    num_registers: int,
+    prefix: str = "p",
+) -> list[Instruction]:
+    """Linear-scan allocation onto ``num_registers`` physical registers.
+
+    Returns the instruction sequence (in its original program order) with
+    every register operand rewritten to a physical name ``{prefix}{k}``.
+    Raises :class:`AllocationError` when more than ``num_registers`` values
+    are simultaneously live (this library does not spill — the experiment
+    sweeps K instead).
+    """
+    if num_registers < 1:
+        raise ValueError("num_registers must be >= 1")
+    intervals = live_intervals(instructions, order)
+    free = [f"{prefix}{k}" for k in range(num_registers)]
+    active: list[tuple[int, str, str]] = []  # (end, vreg, preg)
+    assignment: dict[str, str] = {}
+    for iv in intervals:
+        # Expire intervals that ended strictly before this definition.
+        still = []
+        for end, vreg, preg in active:
+            if end < iv.start:
+                free.append(preg)
+            else:
+                still.append((end, vreg, preg))
+        active = still
+        if not free:
+            raise AllocationError(
+                f"register pressure exceeds {num_registers} at {iv.register!r}"
+            )
+        preg = free.pop(0)
+        assignment[iv.register] = preg
+        active.append((iv.end, iv.register, preg))
+
+    out: list[Instruction] = []
+    for inst in instructions:
+        out.append(
+            Instruction(
+                name=inst.name,
+                opcode=inst.opcode,
+                reads=tuple(assignment[r] for r in inst.reads),
+                writes=tuple(assignment[r] for r in inst.writes),
+                loads=inst.loads,
+                stores=inst.stores,
+                exec_time=inst.exec_time,
+                latency=inst.latency,
+                fu_class=inst.fu_class,
+                is_branch=inst.is_branch,
+            )
+        )
+    return out
+
+
+@dataclass
+class SpillAllocation:
+    """Result of spilling allocation: the rewritten sequence plus the
+    register assignment contract.
+
+    ``assignment`` maps every non-spilled virtual register to its physical
+    register; live-in values are *precolored* — the caller/runtime must
+    deliver each non-spilled live-in in its assigned register at entry
+    (spilled live-ins are instead assumed to have stack homes).
+    """
+
+    instructions: list[Instruction]
+    assignment: dict[str, str]
+    spilled: set[str]
+
+    def spill_count(self) -> int:
+        return spill_count(self.instructions)
+
+
+def allocate_with_spills(
+    instructions: Sequence[Instruction],
+    order: Sequence[str],
+    num_registers: int,
+    prefix: str = "p",
+    spill_latency: int = 2,
+) -> SpillAllocation:
+    """Linear-scan allocation with furthest-end spilling (Poletto-Sarkar).
+
+    When more values are live than registers, the active interval with the
+    furthest end point is spilled to a dedicated stack slot: its definition
+    is followed by a store, and every use reloads it into one of two
+    reserved scratch registers just in time.  The returned sequence is *in
+    schedule order* with spill code interleaved (names ``<v>.store`` /
+    ``<use>.reload<k>``).  Intended for renamed (single-definition) code.
+
+    Requires ``num_registers >= 3`` (two scratch registers are reserved).
+    """
+    if num_registers < 3:
+        raise ValueError("spilling allocation needs at least 3 registers")
+    pool = num_registers - 2
+    scratch = [f"{prefix}{num_registers - 2}", f"{prefix}{num_registers - 1}"]
+
+    intervals = live_intervals(instructions, order)
+    free = [f"{prefix}{k}" for k in range(pool)]
+    active: list[LiveInterval] = []
+    assignment: dict[str, str] = {}
+    spilled: set[str] = set()
+    for iv in intervals:
+        active = [a for a in active if not _expired(a, iv, free, assignment)]
+        if free:
+            assignment[iv.register] = free.pop(0)
+            active.append(iv)
+            continue
+        victim = max(active, key=lambda a: a.end)
+        if victim.end > iv.end:
+            spilled.add(victim.register)
+            assignment[iv.register] = assignment.pop(victim.register)
+            active.remove(victim)
+            active.append(iv)
+        else:
+            spilled.add(iv.register)
+
+    by_name = {i.name: i for i in instructions}
+    out: list[Instruction] = []
+    for name in order:
+        inst = by_name[name]
+        reads: list[str] = []
+        next_scratch = 0
+        for r in inst.reads:
+            if r in spilled:
+                reg = scratch[next_scratch % 2]
+                next_scratch += 1
+                out.append(
+                    Instruction(
+                        name=f"{name}.reload{next_scratch - 1}",
+                        opcode="reload",
+                        writes=(reg,),
+                        loads=(f"stack:{r}",),
+                        latency=spill_latency,
+                    )
+                )
+                reads.append(reg)
+            else:
+                reads.append(assignment[r])
+        writes: list[str] = []
+        stores_after: list[Instruction] = []
+        for w in inst.writes:
+            if w in spilled:
+                reg = scratch[0]
+                writes.append(reg)
+                stores_after.append(
+                    Instruction(
+                        name=f"{w}.store",
+                        opcode="spill",
+                        reads=(reg,),
+                        stores=(f"stack:{w}",),
+                        latency=1,
+                    )
+                )
+            else:
+                writes.append(assignment[w])
+        out.append(
+            Instruction(
+                name=inst.name,
+                opcode=inst.opcode,
+                reads=tuple(reads),
+                writes=tuple(writes),
+                loads=inst.loads,
+                stores=inst.stores,
+                exec_time=inst.exec_time,
+                latency=inst.latency,
+                fu_class=inst.fu_class,
+                is_branch=inst.is_branch,
+            )
+        )
+        out.extend(stores_after)
+    return SpillAllocation(out, dict(assignment), set(spilled))
+
+
+def _expired(
+    interval: LiveInterval,
+    current: LiveInterval,
+    free: list[str],
+    assignment: dict[str, str],
+) -> bool:
+    if interval.end < current.start and interval.register in assignment:
+        free.append(assignment[interval.register])
+        return True
+    return interval.end < current.start
+
+
+def spill_count(instructions: Sequence[Instruction]) -> int:
+    """Number of spill/reload instructions in an allocated sequence."""
+    return sum(1 for i in instructions if i.opcode in ("spill", "reload"))
+
+
+def minimum_registers(
+    instructions: Sequence[Instruction], order: Sequence[str]
+) -> int:
+    """Smallest K for which :func:`allocate_registers` succeeds — the
+    maximum number of simultaneously live values along ``order``."""
+    intervals = live_intervals(instructions, order)
+    events: list[tuple[int, int]] = []
+    for iv in intervals:
+        events.append((iv.start, 1))
+        events.append((iv.end + 1, -1))
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return max(peak, 1)

@@ -1,0 +1,88 @@
+"""Loop unrolling: turn a single-block loop into an unrolled loop trace.
+
+Unrolling by a factor U replicates the loop body U times inside one new
+iteration.  Dependences map as follows (original edge ⟨lat, d⟩ from copy k):
+
+- d = 0 → an intra-block edge in copy k;
+- k + d < U → a cross-block edge from copy k to copy k + d;
+- otherwise → a loop-carried edge of the *unrolled* loop, from copy k to
+  copy (k + d) mod U at distance ⌈(k + d − U + 1) / U⌉… i.e. (k + d) // U.
+
+The result is a :class:`~repro.ir.basicblock.LoopTrace`, which the §5.1
+algorithm (``schedule_loop_trace``) can schedule — enabling the classic
+comparison between unroll-and-schedule and the paper's §5.2 rolled-loop
+scheduling (benchmark E13).
+"""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock, LoopTrace
+from .depgraph import DependenceGraph
+from .loopgraph import LoopGraph
+
+
+def unrolled_name(node: str, copy: int) -> str:
+    """Name of ``node`` in the ``copy``-th body replica."""
+    return f"{node}@{copy}"
+
+
+def unroll_loop(loop: LoopGraph, factor: int) -> LoopTrace:
+    """Unroll ``loop`` by ``factor`` into a loop trace of ``factor`` blocks."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+
+    block_graphs: list[DependenceGraph] = []
+    for k in range(factor):
+        g = DependenceGraph()
+        for n in loop.nodes:
+            g.add_node(unrolled_name(n, k), loop.exec_time(n), loop.fu_class(n))
+        block_graphs.append(g)
+
+    cross: list[tuple[str, str, int]] = []
+    carried: list[tuple[str, str, int, int]] = []
+    for e in loop.edges():
+        for k in range(factor):
+            tgt = k + e.distance
+            if e.distance == 0:
+                block_graphs[k].add_edge(
+                    unrolled_name(e.src, k), unrolled_name(e.dst, k), e.latency
+                )
+            elif tgt < factor:
+                cross.append(
+                    (
+                        unrolled_name(e.src, k),
+                        unrolled_name(e.dst, tgt),
+                        e.latency,
+                    )
+                )
+            else:
+                carried.append(
+                    (
+                        unrolled_name(e.src, k),
+                        unrolled_name(e.dst, tgt % factor),
+                        e.latency,
+                        tgt // factor,
+                    )
+                )
+
+    blocks = [
+        BasicBlock(name=f"unroll{k}", graph=g) for k, g in enumerate(block_graphs)
+    ]
+    return LoopTrace(blocks, cross_edges=cross, carried_edges=carried)
+
+
+def reroll_orders(
+    loop: LoopGraph, block_orders: list[list[str]]
+) -> list[list[str]]:
+    """Translate per-copy instruction orders of an unrolled loop back to
+    original node names — one order per body copy."""
+    out: list[list[str]] = []
+    for order in block_orders:
+        names = []
+        for inst in order:
+            base, _, copy = inst.rpartition("@")
+            if not base or base not in loop:
+                raise ValueError(f"not an unrolled instance name: {inst!r}")
+            names.append(base)
+        out.append(names)
+    return out

@@ -1,0 +1,15 @@
+"""Machine model substrate."""
+
+from .model import MachineModel, in_order_machine, single_unit_machine
+from .presets import NO_LOOKAHEAD, PAPER_CORE, RS6000_LIKE, WIDE_VLIW, paper_machine
+
+__all__ = [
+    "MachineModel",
+    "NO_LOOKAHEAD",
+    "PAPER_CORE",
+    "RS6000_LIKE",
+    "WIDE_VLIW",
+    "in_order_machine",
+    "paper_machine",
+    "single_unit_machine",
+]

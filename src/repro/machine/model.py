@@ -1,0 +1,91 @@
+"""Machine models: functional units, lookahead window, issue width.
+
+The paper's core results assume a single functional unit with unit execution
+times and 0/1 latencies, plus a hardware lookahead window of W instructions
+(§2.3).  §4.2 generalizes heuristically to multiple (typed) functional units,
+non-unit execution times and longer latencies.  :class:`MachineModel` captures
+all of these knobs; schedulers and the simulator consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.depgraph import DependenceGraph
+from ..ir.instruction import ANY
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A target machine description.
+
+    Parameters
+    ----------
+    window_size:
+        Hardware lookahead window W (number of contiguous dynamic-stream
+        instructions the issue logic can inspect).  W = 1 means no lookahead:
+        strictly in-order issue.
+    fu_counts:
+        Mapping functional-unit class -> number of units of that class.  An
+        instruction of class ``c`` runs on a unit of class ``c``; instructions
+        of class :data:`ANY` may run on any unit.  The default is one
+        universal unit, the paper's core model.
+    issue_width:
+        Maximum number of instructions issued per cycle (across all units).
+        ``None`` means limited only by free units.
+    """
+
+    window_size: int = 4
+    fu_counts: dict[str, int] = field(default_factory=lambda: {ANY: 1})
+    issue_width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
+        if not self.fu_counts:
+            raise ValueError("machine needs at least one functional unit")
+        for cls, count in self.fu_counts.items():
+            if count < 1:
+                raise ValueError(f"fu class {cls!r} needs count >= 1, got {count}")
+        if self.issue_width is not None and self.issue_width < 1:
+            raise ValueError(f"issue_width must be >= 1, got {self.issue_width}")
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.fu_counts.values())
+
+    @property
+    def is_single_unit(self) -> bool:
+        return self.total_units == 1
+
+    def unit_names(self) -> list[tuple[str, int]]:
+        """Stable list of ``(fu_class, index)`` identifiers for every unit."""
+        out: list[tuple[str, int]] = []
+        for cls in sorted(self.fu_counts):
+            out.extend((cls, i) for i in range(self.fu_counts[cls]))
+        return out
+
+    def units_for(self, fu_class: str) -> list[tuple[str, int]]:
+        """Units an instruction of ``fu_class`` may execute on.
+
+        :data:`ANY` instructions run anywhere; typed instructions run on
+        their own class or on :data:`ANY` (universal) units.
+        """
+        if fu_class == ANY:
+            return self.unit_names()
+        out = [(c, i) for (c, i) in self.unit_names() if c == fu_class or c == ANY]
+        return out
+
+    def can_execute(self, graph: DependenceGraph) -> bool:
+        """True iff every node's fu class has at least one usable unit."""
+        return all(self.units_for(graph.fu_class(n)) for n in graph.nodes)
+
+
+def single_unit_machine(window_size: int = 4) -> MachineModel:
+    """The paper's core machine: one universal FU, window W."""
+    return MachineModel(window_size=window_size, fu_counts={ANY: 1})
+
+
+def in_order_machine() -> MachineModel:
+    """No lookahead at all (W = 1) — the degenerate comparison point."""
+    return MachineModel(window_size=1, fu_counts={ANY: 1})

@@ -1,0 +1,186 @@
+"""Exact small-instance schedulers — the test oracle.
+
+Branch-and-bound over issue decisions gives the true minimum makespan (and a
+deadline-feasibility oracle) for instances of ~a dozen instructions; the
+property-based tests use it to certify the Rank Algorithm's optimality claims
+in the regime where the paper proves them, and to measure how far the
+heuristics stray outside it.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Mapping, Sequence
+
+from ..ir.depgraph import DependenceGraph
+from ..machine.model import MachineModel, single_unit_machine
+from ..core.rank import list_schedule
+from ..core.schedule import Schedule
+
+
+def optimal_makespan(
+    graph: DependenceGraph,
+    machine: MachineModel | None = None,
+    deadlines: Mapping[str, int] | None = None,
+) -> int | None:
+    """Exact minimum makespan via branch and bound (None if the deadlines are
+    unsatisfiable).  Intended for graphs of at most ~14 nodes."""
+    machine = machine or single_unit_machine()
+    sched = optimal_schedule(graph, machine, deadlines)
+    return None if sched is None else sched.makespan
+
+
+def optimal_schedule(
+    graph: DependenceGraph,
+    machine: MachineModel | None = None,
+    deadlines: Mapping[str, int] | None = None,
+) -> Schedule | None:
+    """Exact minimum-makespan schedule via depth-first branch and bound over
+    "issue one ready node now" / "advance time" decisions."""
+    machine = machine or single_unit_machine()
+    if len(graph) == 0:
+        return Schedule(graph, {})
+    if len(graph) > 16:
+        raise ValueError("brute force limited to 16 nodes")
+    deadlines = dict(deadlines or {})
+    nodes = graph.nodes
+    index = {n: i for i, n in enumerate(nodes)}
+    heights = graph.path_length_to_sinks()
+
+    # Upper bound seed: greedy critical-path schedule.
+    seed_priority = sorted(nodes, key=lambda n: (-heights[n], index[n]))
+    seed = list_schedule(graph, seed_priority, machine)
+    best_span = seed.makespan if seed.is_feasible(deadlines) else None
+    best: Schedule | None = seed if best_span is not None else None
+    # Even when the seed misses deadlines it bounds the search depth.
+    span_cap = seed.makespan + sum(graph.exec_time(n) for n in nodes)
+
+    width = machine.issue_width or machine.total_units
+    unit_list = machine.unit_names()
+
+    starts: dict[str, int] = {}
+    units: dict[str, tuple[str, int]] = {}
+
+    def search(time: int, unit_free: tuple[int, ...], done_mask: int) -> None:
+        nonlocal best, best_span
+        if done_mask == (1 << len(nodes)) - 1:
+            span = max(starts[n] + graph.exec_time(n) for n in nodes)
+            if best_span is None or span < best_span:
+                sched = Schedule(graph, dict(starts), dict(units))
+                if sched.is_feasible(deadlines):
+                    best_span = span
+                    best = sched
+            return
+        # Lower bound pruning: remaining critical path from any unscheduled
+        # ready-or-future node.
+        lb = time
+        for i, n in enumerate(nodes):
+            if not done_mask >> i & 1:
+                lb = max(lb, time + heights[n] - 0)
+        if best_span is not None and lb >= best_span:
+            return
+        if time > span_cap:
+            return
+        # Ready nodes at this time.
+        ready: list[str] = []
+        future_events: list[int] = []
+        for i, n in enumerate(nodes):
+            if done_mask >> i & 1:
+                continue
+            est = 0
+            ok = True
+            for p, lat in graph.predecessors(n).items():
+                if p not in starts:
+                    ok = False
+                    break
+                est = max(est, starts[p] + graph.exec_time(p) + lat)
+            if not ok:
+                continue
+            if est <= time:
+                ready.append(n)
+            else:
+                future_events.append(est)
+        issued_something = False
+        for n in ready:
+            if deadlines.get(n) is not None and time + graph.exec_time(n) > deadlines[n]:
+                continue
+            tried_classes: set[str] = set()
+            for ui, u in enumerate(unit_list):
+                if unit_free[ui] > time:
+                    continue
+                if u not in machine.units_for(graph.fu_class(n)):
+                    continue
+                if u[0] in tried_classes:
+                    continue  # units of one class are interchangeable
+                tried_classes.add(u[0])
+                starts[n] = time
+                units[n] = u
+                nf = list(unit_free)
+                nf[ui] = time + graph.exec_time(n)
+                search(time, tuple(nf), done_mask | 1 << index[n])
+                del starts[n]
+                del units[n]
+                issued_something = True
+        # Branch: advance time without issuing (needed for optimality with
+        # latencies — sometimes waiting beats greedily issuing).
+        events = future_events + [t for t in unit_free if t > time]
+        nxt = min(events) if events else time + 1
+        if ready and issued_something:
+            # Also allow deliberately idling past a ready node.
+            search(time + 1, unit_free, done_mask)
+        else:
+            search(nxt, unit_free, done_mask)
+
+    search(0, tuple(0 for _ in unit_list), 0)
+    return best
+
+
+def is_feasible_instance(
+    graph: DependenceGraph,
+    deadlines: Mapping[str, int],
+    machine: MachineModel | None = None,
+) -> bool:
+    """Exact deadline-feasibility oracle."""
+    return optimal_schedule(graph, machine, deadlines) is not None
+
+
+def best_stream_order(
+    graph: DependenceGraph,
+    grouping: Sequence[Sequence[str]],
+    machine: MachineModel | None = None,
+) -> tuple[list[str], int]:
+    """Exhaustively search per-group permutations (e.g. per-block orders) for
+    the one whose windowed execution has minimum makespan.  Exponential —
+    test-size instances only (product of group factorials ≲ 10⁵)."""
+    from ..sim.window import simulate_window
+
+    machine = machine or single_unit_machine()
+    groups = [list(g) for g in grouping]
+
+    best_order: list[str] | None = None
+    best_span: int | None = None
+
+    def rec(i: int, prefix: list[str]) -> None:
+        nonlocal best_order, best_span
+        if i == len(groups):
+            sim = simulate_window(graph, prefix, machine)
+            if best_span is None or sim.makespan < best_span:
+                best_span = sim.makespan
+                best_order = list(prefix)
+            return
+        for perm in permutations(groups[i]):
+            if _respects_dependences(graph, perm):
+                rec(i + 1, prefix + list(perm))
+
+    rec(0, [])
+    assert best_order is not None and best_span is not None
+    return best_order, best_span
+
+
+def _respects_dependences(graph: DependenceGraph, order: Sequence[str]) -> bool:
+    """A block's emitted order must be a topological order of its subgraph."""
+    pos = {n: i for i, n in enumerate(order)}
+    for u, v, _ in graph.edges():
+        if u in pos and v in pos and pos[u] > pos[v]:
+            return False
+    return True

@@ -1,0 +1,63 @@
+"""Coffman-Graham two-processor scheduling (paper §6, ref. [5]).
+
+The classic 1972 algorithm: optimal for unit-execution-time DAGs on two
+identical processors with *no* latencies.  Nodes are labelled bottom-up; each
+node's label is chosen so that the decreasing sequence of its successors'
+labels is lexicographically minimal among unlabelled candidates; the schedule
+then list-schedules by decreasing label.  Included because the Rank Algorithm
+descends from this lineage (Bernstein-Gertner generalized it to 0/1
+latencies on a pipelined processor) and because it is a useful two-unit
+baseline.
+"""
+
+from __future__ import annotations
+
+from ..ir.depgraph import DependenceGraph
+from ..ir.instruction import ANY
+from ..machine.model import MachineModel
+from ..core.rank import list_schedule
+from ..core.schedule import Schedule
+
+
+def coffman_graham_labels(graph: DependenceGraph) -> dict[str, int]:
+    """The lexicographic labelling.  Labels are 1..n; higher = schedule
+    earlier.  Deterministic: ties fall back to program order."""
+    n = len(graph)
+    labels: dict[str, int] = {}
+    index = {v: i for i, v in enumerate(graph.nodes)}
+    for label in range(1, n + 1):
+        candidates = [
+            v
+            for v in graph.nodes
+            if v not in labels and all(s in labels for s in graph.successors(v))
+        ]
+        if not candidates:  # pragma: no cover - graph is a DAG
+            raise RuntimeError("no candidate during Coffman-Graham labelling")
+
+        def key(v: str) -> tuple:
+            succ_labels = sorted(
+                (labels[s] for s in graph.successors(v)), reverse=True
+            )
+            return (succ_labels, index[v])
+
+        chosen = min(candidates, key=key)
+        labels[chosen] = label
+    return labels
+
+
+def coffman_graham_priority(graph: DependenceGraph) -> list[str]:
+    labels = coffman_graham_labels(graph)
+    return sorted(graph.nodes, key=lambda v: -labels[v])
+
+
+TWO_PROCESSOR = MachineModel(window_size=1, fu_counts={ANY: 2})
+
+
+def coffman_graham_schedule(
+    graph: DependenceGraph, machine: MachineModel | None = None
+) -> Schedule:
+    """List schedule by decreasing Coffman-Graham label.  Optimal on two
+    identical units when all edge latencies are zero and execution times are
+    one; otherwise a baseline heuristic."""
+    machine = machine or TWO_PROCESSOR
+    return list_schedule(graph, coffman_graham_priority(graph), machine)

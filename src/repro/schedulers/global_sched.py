@@ -1,0 +1,79 @@
+"""Global (cross-block) scheduling comparators (paper §6, refs [4], [7]).
+
+Anticipatory scheduling deliberately keeps instructions inside their basic
+blocks.  To quantify what that safety costs, the benchmarks compare against
+schedulers that are allowed to move code across block boundaries:
+
+* :func:`global_upper_bound` — schedule the *entire trace graph* as one
+  giant basic block with the Rank Algorithm, ignoring block boundaries
+  altogether.  This is the completion time unrestricted (unsafe,
+  unserviceable) global code motion could reach; no window model applies
+  because the compiler itself realizes all the overlap.
+* :func:`speculative_block_orders` — a bounded Bernstein-Rodeh-style
+  speculative mover: instructions may be hoisted into the immediately
+  preceding block's idle slots when they have no side effects there
+  (modelled as: the hoisted instruction has no dependence predecessor in its
+  own block).  Emits per-block orders whose block assignment has changed —
+  i.e. an *unsafe* compiler output that the window simulator can still
+  execute for comparison.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock, Trace, block_from_graph
+from ..machine.model import MachineModel, single_unit_machine
+from ..core.rank import minimum_makespan_schedule
+from ..core.schedule import Schedule
+
+
+def global_upper_bound(
+    trace: Trace, machine: MachineModel | None = None
+) -> Schedule:
+    """Rank-Algorithm schedule of the whole trace graph as one block."""
+    machine = machine or single_unit_machine()
+    return minimum_makespan_schedule(trace.graph, machine)
+
+
+def speculative_trace(
+    trace: Trace, machine: MachineModel | None = None, max_hoist: int | None = None
+) -> Trace:
+    """Return a new trace in which hoistable instructions have been moved one
+    block earlier (speculation below a branch is modelled as simply
+    re-homing the instruction; the paper's [4] discusses when this is safe).
+
+    An instruction is hoistable when every dependence predecessor lives in a
+    strictly earlier block than its own — executing it before its block's
+    entry branch cannot violate a data dependence.  ``max_hoist`` bounds how
+    many instructions move per block (None = unlimited).
+    """
+    machine = machine or single_unit_machine()
+    graph = trace.graph
+    new_members: list[list[str]] = [list(bb.node_names) for bb in trace.blocks]
+    for i in range(1, trace.num_blocks):
+        moved = 0
+        for n in list(new_members[i]):
+            preds = graph.predecessors(n)
+            if all(trace.block_index(p) < i for p in preds):
+                new_members[i].remove(n)
+                new_members[i - 1].append(n)
+                moved += 1
+                if max_hoist is not None and moved >= max_hoist:
+                    break
+    blocks: list[BasicBlock] = []
+    for i, members in enumerate(new_members):
+        blocks.append(
+            block_from_graph(f"{trace.blocks[i].name}+spec", graph.subgraph(members))
+        )
+    cross = [
+        (u, v, lat)
+        for u, v, lat in graph.edges()
+        if _home(new_members, u) < _home(new_members, v)
+    ]
+    return Trace(blocks, cross_edges=cross)
+
+
+def _home(members: list[list[str]], node: str) -> int:
+    for i, m in enumerate(members):
+        if node in m:
+            return i
+    raise KeyError(node)  # pragma: no cover - construction covers all nodes

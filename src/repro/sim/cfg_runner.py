@@ -1,0 +1,123 @@
+"""Whole-CFG evaluation: expected completion over control-flow paths.
+
+The paper positions anticipatory scheduling against trace scheduling [7]:
+both optimize a hot path, but anticipatory scheduling never moves code off
+its block, so cold paths pay no compensation cost — only the (possibly
+suboptimal for them) block orders chosen for the hot trace.  This module
+makes that comparison measurable: enumerate CFG paths with their
+probabilities, execute each path's block sequence with the scheduled orders
+(a mispredicted boundary wherever the path leaves the scheduled trace), and
+report the expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..ir.basicblock import Trace
+from ..ir.cfg import ControlFlowGraph
+from ..machine.model import MachineModel, single_unit_machine
+from .window import simulate_trace
+
+
+@dataclass(frozen=True)
+class PathResult:
+    blocks: tuple[str, ...]
+    probability: float
+    makespan: int
+
+
+@dataclass
+class CFGEvaluation:
+    paths: list[PathResult]
+
+    @property
+    def expected_makespan(self) -> float:
+        return sum(p.probability * p.makespan for p in self.paths)
+
+    @property
+    def coverage(self) -> float:
+        """Total probability mass of the enumerated paths (1.0 unless the
+        enumeration was truncated)."""
+        return sum(p.probability for p in self.paths)
+
+
+def enumerate_paths(
+    cfg: ControlFlowGraph,
+    start: str | None = None,
+    max_depth: int = 8,
+    min_probability: float = 1e-6,
+) -> list[tuple[list[str], float]]:
+    """All simple-ish paths from ``start`` to any sink (no revisits), with
+    their probabilities; truncated at ``max_depth`` blocks."""
+    start = start or cfg.entry
+    if start is None:
+        raise ValueError("CFG has no entry block")
+    out: list[tuple[list[str], float]] = []
+
+    def walk(path: list[str], prob: float) -> None:
+        if prob < min_probability:
+            return
+        succs = [e for e in cfg.successors(path[-1]) if e.dst not in path]
+        if not succs or len(path) >= max_depth:
+            out.append((list(path), prob))
+            return
+        total = sum(e.probability for e in succs)
+        if total <= 0:
+            out.append((list(path), prob))
+            return
+        for e in succs:
+            walk(path + [e.dst], prob * e.probability / total)
+
+    walk([start], 1.0)
+    return out
+
+
+def evaluate_cfg(
+    cfg: ControlFlowGraph,
+    block_orders: Mapping[str, Sequence[str]],
+    scheduled_trace: Sequence[str],
+    cross_edges: Sequence[tuple[str, str, int]] = (),
+    machine: MachineModel | None = None,
+    misprediction_penalty: int = 2,
+    max_depth: int = 8,
+) -> CFGEvaluation:
+    """Expected completion of the whole CFG under the given per-block orders.
+
+    ``scheduled_trace`` is the block path the scheduler optimized (and the
+    static predictor follows).  At each boundary the predictor guesses the
+    scheduled trace's successor when the current block lies on it, otherwise
+    the most probable CFG successor; a wrong guess flushes the window
+    (misprediction barrier + penalty).
+    """
+    machine = machine or single_unit_machine()
+    sched = list(scheduled_trace)
+    next_on_trace = {a: b for a, b in zip(sched, sched[1:])}
+
+    def predicted_successor(block: str) -> str | None:
+        if block in next_on_trace:
+            return next_on_trace[block]
+        succs = cfg.successors(block)
+        if not succs:
+            return None
+        return max(succs, key=lambda e: e.probability).dst
+
+    results: list[PathResult] = []
+    for path, prob in enumerate_paths(cfg, max_depth=max_depth):
+        trace = cfg.build_trace(path, list(cross_edges))
+        orders = [list(block_orders[name]) for name in path]
+        mispredicted = [
+            i
+            for i in range(1, len(path))
+            if predicted_successor(path[i - 1]) != path[i]
+        ]
+        sim = simulate_trace(
+            trace,
+            orders,
+            machine,
+            mispredicted_blocks=mispredicted,
+            misprediction_penalty=misprediction_penalty,
+        )
+        results.append(PathResult(tuple(path), prob, sim.makespan))
+    return CFGEvaluation(results)

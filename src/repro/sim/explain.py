@@ -1,0 +1,193 @@
+"""Stall attribution and cycle-by-cycle event logs for window executions.
+
+Given a finished :class:`~repro.sim.window.SimResult`, these helpers answer
+the questions a compiler engineer asks when a schedule is slower than
+expected: *which* dependence latency caused each stall cycle, and — the
+anticipatory-scheduling signal — was some instruction actually **ready** but
+unreachable because it sat outside the lookahead window behind a stalled
+head?  Those window-limited stalls are exactly the cycles that a better
+intra-block order (idle slots later!) or a bigger window would recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.depgraph import DependenceGraph
+from ..machine.model import MachineModel, single_unit_machine
+from .window import SimResult
+
+
+@dataclass(frozen=True)
+class Stall:
+    """One stalled cycle with its attributed cause."""
+
+    cycle: int
+    #: "dependence" — every window instruction waited on an unmet latency;
+    #: "window" — some instruction outside the window was ready (the
+    #: lookahead was too small / the order left the idle slot unreachable);
+    #: "resource" — a window instruction was ready but all compatible
+    #: functional units were busy.
+    kind: str
+    #: The instruction whose readiness resolves the stall soonest.
+    waiting: str
+    #: For dependence stalls: the producer (and latency) being waited on;
+    #: for window stalls: the stalled head pinning the window.
+    blocker: str | None
+    detail: str
+
+
+@dataclass
+class StallReport:
+    stalls: list[Stall]
+
+    @property
+    def dependence_cycles(self) -> int:
+        return sum(1 for s in self.stalls if s.kind == "dependence")
+
+    @property
+    def window_cycles(self) -> int:
+        return sum(1 for s in self.stalls if s.kind == "window")
+
+    @property
+    def resource_cycles(self) -> int:
+        return sum(1 for s in self.stalls if s.kind == "resource")
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.stalls)} stall cycles: "
+            f"{self.dependence_cycles} dependence, "
+            f"{self.window_cycles} window-limited, "
+            f"{self.resource_cycles} resource"
+        )
+
+
+def explain_stalls(
+    graph: DependenceGraph,
+    stream: Sequence[str],
+    result: SimResult,
+    machine: MachineModel | None = None,
+) -> StallReport:
+    """Attribute every stalled cycle of ``result`` (an execution of
+    ``stream``) to a dependence, window, or resource cause."""
+    machine = machine or single_unit_machine()
+    w = machine.window_size
+    starts = result.schedule.starts
+    completion = {n: result.schedule.completion(n) for n in starts}
+
+    def ready_time(node: str) -> int:
+        return max(
+            (completion[p] + lat for p, lat in graph.predecessors(node).items()),
+            default=0,
+        )
+
+    position = {n: i for i, n in enumerate(stream)}
+    issue_cycles = {}
+    for n, t in starts.items():
+        issue_cycles.setdefault(t, []).append(n)
+    last_issue = max(starts.values(), default=0)
+
+    stalls: list[Stall] = []
+    for t in range(last_issue + 1):
+        if t in issue_cycles:
+            continue
+        # Reconstruct the window at cycle t: head = first stream index not
+        # yet issued at t.
+        head = next(
+            (i for i, n in enumerate(stream) if starts[n] > t), len(stream)
+        )
+        window = [stream[i] for i in range(head, min(head + w, len(stream)))]
+        unissued = [n for n in window if starts[n] > t]
+        ready_now = [n for n in unissued if ready_time(n) <= t]
+        if ready_now:
+            # A window member was ready but did not issue: unit conflict.
+            n = ready_now[0]
+            stalls.append(
+                Stall(
+                    cycle=t,
+                    kind="resource",
+                    waiting=n,
+                    blocker=None,
+                    detail=f"{n} ready but no free {graph.fu_class(n)} unit",
+                )
+            )
+            continue
+        # Was anything *outside* the window ready?  That is a window stall.
+        outside_ready = [
+            n
+            for n in stream[head + w :]
+            if starts[n] > t and ready_time(n) <= t
+        ]
+        if outside_ready:
+            head_node = stream[head] if head < len(stream) else None
+            stalls.append(
+                Stall(
+                    cycle=t,
+                    kind="window",
+                    waiting=outside_ready[0],
+                    blocker=head_node,
+                    detail=(
+                        f"{outside_ready[0]} ready at stream position "
+                        f"{position[outside_ready[0]]} but window "
+                        f"[{head}, {head + w}) is pinned by {head_node}"
+                    ),
+                )
+            )
+            continue
+        # Pure dependence stall: report the soonest-ready window member and
+        # the edge binding it.
+        if unissued:
+            n = min(unissued, key=ready_time)
+            binding = max(
+                graph.predecessors(n).items(),
+                key=lambda kv: completion[kv[0]] + kv[1],
+                default=(None, 0),
+            )
+            blocker = binding[0]
+            stalls.append(
+                Stall(
+                    cycle=t,
+                    kind="dependence",
+                    waiting=n,
+                    blocker=blocker,
+                    detail=(
+                        f"{n} waits for {blocker} "
+                        f"(completes {completion.get(blocker, '?')}, "
+                        f"latency {binding[1]})"
+                        if blocker
+                        else f"{n} not ready"
+                    ),
+                )
+            )
+    return StallReport(stalls)
+
+
+def event_log(
+    graph: DependenceGraph,
+    stream: Sequence[str],
+    result: SimResult,
+    machine: MachineModel | None = None,
+) -> list[str]:
+    """Human-readable cycle-by-cycle log: issues, completions, stalls."""
+    machine = machine or single_unit_machine()
+    report = explain_stalls(graph, stream, result, machine)
+    stall_by_cycle = {s.cycle: s for s in report.stalls}
+    by_issue: dict[int, list[str]] = {}
+    by_completion: dict[int, list[str]] = {}
+    for n, t in result.schedule.starts.items():
+        by_issue.setdefault(t, []).append(n)
+        by_completion.setdefault(result.schedule.completion(n), []).append(n)
+    lines: list[str] = []
+    for t in range(result.makespan + 1):
+        parts: list[str] = []
+        if t in by_completion:
+            parts.append("complete " + ", ".join(sorted(by_completion[t])))
+        if t in by_issue:
+            parts.append("issue " + ", ".join(sorted(by_issue[t])))
+        if t in stall_by_cycle:
+            s = stall_by_cycle[t]
+            parts.append(f"STALL ({s.kind}): {s.detail}")
+        if parts:
+            lines.append(f"cycle {t:>4}: " + "; ".join(parts))
+    return lines

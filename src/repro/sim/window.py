@@ -1,0 +1,227 @@
+"""Cycle-accurate simulator of hardware instruction lookahead (paper §2.3).
+
+The machine model: at any instant the lookahead window holds W instructions
+i_n … i_{n+W−1} that occur *contiguously* in the dynamic instruction stream.
+The hardware may issue any window instruction whose operands are ready; it
+never skips a ready earlier instruction in favour of a ready later one
+(Ordering Constraint), and the window only moves ahead when its first
+instruction has been issued.  The greedy window-W execution of the priority
+list L = P₁∘P₂∘…∘Pₘ is, by Definition 2.3, exactly the set of *legal*
+runtime schedules — so this simulator is the ground truth that every
+experiment measures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..ir.depgraph import DependenceGraph
+from ..machine.model import MachineModel, single_unit_machine
+from ..core.schedule import Schedule, Unit
+
+
+class SimulationDeadlock(RuntimeError):
+    """The stream can never make progress: some window instruction depends on
+    an instruction more than W−1 positions later in the stream."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one windowed execution."""
+
+    schedule: Schedule
+    #: Instructions in issue order (the runtime permutation P).
+    issue_order: list[str]
+    #: Cycles up to (and excluding) the last issue in which no instruction
+    #: was issued — the head-of-window stalls the lookahead failed to hide.
+    stall_cycles: int
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+    def start(self, node: str) -> int:
+        return self.schedule.start(node)
+
+
+def simulate_window(
+    graph: DependenceGraph,
+    stream: Sequence[str],
+    machine: MachineModel | None = None,
+    barriers: Mapping[int, int] | None = None,
+) -> SimResult:
+    """Greedily execute ``stream`` on ``machine``'s lookahead hardware.
+
+    ``stream`` must be a permutation of ``graph``'s nodes — the static
+    instruction order the compiler emitted (concatenated per-block orders
+    for a trace).  ``barriers`` optionally maps stream positions to stall
+    penalties: position ``b → p`` forbids any instruction at index ≥ b from
+    issuing before every instruction at index < b has *completed*, plus ``p``
+    extra cycles — this models a branch misprediction flush at a block
+    boundary (the hardware rolls back eagerly executed instructions of the
+    wrong path and refills the window).
+
+    Raises :class:`SimulationDeadlock` for streams whose dependences point
+    more than W−1 positions forward (cannot occur for streams derived from
+    valid per-block schedules of a trace).
+    """
+    machine = machine or single_unit_machine()
+    if sorted(stream) != sorted(graph.nodes):
+        raise ValueError("stream must be a permutation of the graph nodes")
+    if not machine.can_execute(graph):
+        raise ValueError("machine lacks a functional unit for some instruction")
+    barriers = dict(barriers or {})
+
+    n = len(stream)
+    w = machine.window_size
+    width = machine.issue_width or machine.total_units
+    position = {node: i for i, node in enumerate(stream)}
+
+    completion: dict[str, int] = {}
+    starts: dict[str, int] = {}
+    units: dict[str, Unit] = {}
+    issued: list[bool] = [False] * n
+    issue_order: list[str] = []
+    unit_free_at: dict[Unit, int] = {u: 0 for u in machine.unit_names()}
+
+    # Barrier release times become known once every instruction before the
+    # barrier has issued (completion times are then fixed).
+    barrier_release: dict[int, int | None] = {b: None for b in barriers}
+
+    def ready_time(node: str) -> int | None:
+        """Earliest issue time permitted by dependences and barriers, or None
+        if a predecessor has not issued yet."""
+        t = 0
+        for p, lat in graph.predecessors(node).items():
+            if p not in completion:
+                return None
+            t = max(t, completion[p] + lat)
+        pos = position[node]
+        for b, penalty in barriers.items():
+            if pos >= b:
+                rel = barrier_release[b]
+                if rel is None:
+                    return None
+                t = max(t, rel + penalty)
+        return t
+
+    def update_barriers() -> None:
+        for b in barriers:
+            if barrier_release[b] is None and all(issued[i] for i in range(b)):
+                barrier_release[b] = max(
+                    (completion[stream[i]] for i in range(b)), default=0
+                )
+
+    update_barriers()
+    head = 0
+    time = 0
+    guard = 0
+    max_guard = 4 * (
+        sum(graph.exec_time(x) for x in graph.nodes)
+        + sum(lat for _, _, lat in graph.edges())
+        + sum(barriers.values())
+        + n
+        + 1
+    )
+    while head < n:
+        issued_this_cycle = 0
+        for i in range(head, min(head + w, n)):
+            if issued[i]:
+                continue
+            node = stream[i]
+            rt = ready_time(node)
+            if rt is None or rt > time:
+                continue
+            unit = next(
+                (
+                    u
+                    for u in machine.units_for(graph.fu_class(node))
+                    if unit_free_at[u] <= time
+                ),
+                None,
+            )
+            if unit is None:
+                continue
+            issued[i] = True
+            starts[node] = time
+            units[node] = unit
+            completion[node] = time + graph.exec_time(node)
+            unit_free_at[unit] = completion[node]
+            issue_order.append(node)
+            issued_this_cycle += 1
+            if issued_this_cycle >= width:
+                break
+        while head < n and issued[head]:
+            head += 1
+        update_barriers()
+        if head >= n:
+            break
+        # Advance to the next event: a window instruction becoming ready, a
+        # unit freeing up, or simply the next cycle if issue width was the
+        # only limiter.
+        events: list[int] = []
+        blocked_now = False
+        for i in range(head, min(head + w, n)):
+            if issued[i]:
+                continue
+            rt = ready_time(stream[i])
+            if rt is None:
+                continue
+            if rt <= time:
+                blocked_now = True
+            else:
+                events.append(rt)
+        events.extend(t for t in unit_free_at.values() if t > time)
+        if blocked_now:
+            time += 1
+        elif events:
+            time = min(events)
+        else:
+            raise SimulationDeadlock(
+                f"no instruction in the window [{head}, {head + w}) can ever "
+                f"become ready (window too small for the stream's dependences)"
+            )
+        guard += 1
+        if guard > max_guard:  # pragma: no cover - defensive
+            raise SimulationDeadlock("simulation failed to converge")
+
+    schedule = Schedule(graph, starts, units)
+    if starts:
+        issue_cycles = set(starts.values())
+        stalls = max(starts.values()) + 1 - len(issue_cycles)
+    else:
+        stalls = 0
+    return SimResult(schedule=schedule, issue_order=issue_order, stall_cycles=stalls)
+
+
+def simulate_trace(
+    trace,
+    block_orders: Iterable[Sequence[str]],
+    machine: MachineModel | None = None,
+    mispredicted_blocks: Iterable[int] = (),
+    misprediction_penalty: int = 2,
+) -> SimResult:
+    """Execute a trace given its emitted per-block instruction orders.
+
+    ``mispredicted_blocks`` lists block indices whose *entry* was
+    mispredicted: the window cannot overlap instructions across that block's
+    leading boundary, and ``misprediction_penalty`` flush cycles are added
+    (the paper's safety story: eagerly executed instructions of the wrong
+    path are rolled back by hardware).
+    """
+    machine = machine or single_unit_machine()
+    orders = [list(o) for o in block_orders]
+    if len(orders) != trace.num_blocks:
+        raise ValueError("need exactly one order per trace block")
+    for i, order in enumerate(orders):
+        if sorted(order) != sorted(trace.block_nodes(i)):
+            raise ValueError(f"order for block {i} is not a permutation of it")
+    stream: list[str] = [n for order in orders for n in order]
+    barriers: dict[int, int] = {}
+    boundary = 0
+    for i, order in enumerate(orders):
+        if i in set(mispredicted_blocks) and i > 0:
+            barriers[boundary] = misprediction_penalty
+        boundary += len(order)
+    return simulate_window(trace.graph, stream, machine, barriers)

@@ -1,0 +1,150 @@
+"""Hand-written kernels in the library's textual ISA (paper §1 motivation:
+"the workloads the paper's intro motivates" — small numeric loops and
+branchy straight-line code compiled into traces).
+
+Every kernel is expressed in the :mod:`repro.ir.parser` format so the full
+front-end path (parse → def-use analysis → dependence graph) is exercised.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import LoopTrace, Trace
+from ..ir.loopgraph import LoopGraph, loop_from_edges
+from ..ir.parser import parse_trace
+
+#: Dot-product step: two loads feed a multiply feeding an accumulate, with a
+#: long multiply latency — classic latency-hiding material.
+DOT_PRODUCT_TEXT = """
+block dot
+  ldx op=load defs=r1 uses=ra loads=x lat=1
+  ldy op=load defs=r2 uses=rb loads=y lat=1
+  mul op=mul  defs=r3 uses=r1,r2     lat=4
+  acc op=add  defs=r4 uses=r4,r3     lat=1
+  bax op=add  defs=ra uses=ra        lat=1
+  bby op=add  defs=rb uses=rb        lat=1
+  cmp op=cmp  defs=cr0 uses=ra       lat=1
+  br  op=bc   uses=cr0               lat=1 branch
+"""
+
+
+def dot_product_trace() -> Trace:
+    return parse_trace(DOT_PRODUCT_TEXT)
+
+
+def dot_product_loop() -> LoopGraph:
+    """The dot-product step as a single-block loop with carried accumulator
+    and induction-variable dependences."""
+    return loop_from_edges(
+        [
+            # loop-independent
+            ("ldx", "mul", 1, 0),
+            ("ldy", "mul", 1, 0),
+            ("mul", "acc", 4, 0),
+            ("bax", "cmp", 1, 0),
+            ("ldx", "br", 0, 0),
+            ("ldy", "br", 0, 0),
+            ("mul", "br", 0, 0),
+            ("acc", "br", 0, 0),
+            ("bax", "br", 0, 0),
+            ("bby", "br", 0, 0),
+            ("cmp", "br", 1, 0),
+            # carried
+            ("acc", "acc", 1, 1),  # accumulator recurrence
+            ("bax", "ldx", 1, 1),  # address updates
+            ("bby", "ldy", 1, 1),
+            ("bax", "bax", 1, 1),
+            ("bby", "bby", 1, 1),
+            ("ldx", "bax", 0, 1),
+            ("ldy", "bby", 0, 1),
+        ],
+        nodes=["ldx", "ldy", "mul", "acc", "bax", "bby", "cmp", "br"],
+    )
+
+
+#: A three-block if-then-join trace: compute a condition, a then-block that
+#: consumes a long-latency divide, and a join block consuming both.
+BRANCHY_TEXT = """
+block head
+  ld1  op=load defs=r1 uses=rp loads=a lat=1
+  ld2  op=load defs=r2 uses=rq loads=b lat=1
+  div  op=div  defs=r3 uses=r1,r2     lat=4 time=2
+  cmp0 op=cmp  defs=cr0 uses=r1       lat=1
+  br0  op=bc   uses=cr0               lat=1 branch
+block then
+  add1 op=add defs=r4 uses=r3,r1 lat=1
+  add2 op=add defs=r5 uses=r4    lat=1
+  st1  op=store uses=r5,rp stores=c lat=1
+block join
+  sub1 op=sub defs=r6 uses=r3,r2 lat=1
+  mul1 op=mul defs=r7 uses=r6    lat=4
+  st2  op=store uses=r7,rq stores=d lat=1
+"""
+
+
+def branchy_trace() -> Trace:
+    return parse_trace(BRANCHY_TEXT)
+
+
+#: Unrolled-by-2 saxpy body as a two-block trace whose seam carries the
+#: register reuse between the unrolled halves.
+SAXPY2_TEXT = """
+block sax1
+  lx0 op=load defs=x0 uses=ax loads=x lat=1
+  ly0 op=load defs=y0 uses=ay loads=y lat=1
+  m0  op=mul  defs=p0 uses=x0,sa     lat=4
+  a0  op=add  defs=z0 uses=p0,y0     lat=1
+  s0  op=store uses=z0,ay stores=y   lat=1
+block sax2
+  lx1 op=load defs=x1 uses=ax loads=x lat=1
+  ly1 op=load defs=y1 uses=ay loads=y lat=1
+  m1  op=mul  defs=p1 uses=x1,sa     lat=4
+  a1  op=add  defs=z1 uses=p1,y1     lat=1
+  s1  op=store uses=z1,ay stores=y   lat=1
+  ux  op=add  defs=ax uses=ax        lat=1
+  uy  op=add  defs=ay uses=ay        lat=1
+"""
+
+
+def saxpy_unrolled_trace() -> Trace:
+    return parse_trace(SAXPY2_TEXT)
+
+
+def partial_products_loop_trace() -> LoopTrace:
+    """Figure 3's partial-products kernel wrapped as a one-block
+    :class:`LoopTrace` (for the §5.1 path) — the §5.2 path uses
+    :func:`repro.workloads.paper_examples.figure3_loop` directly."""
+    from ..ir.basicblock import block_from_graph
+    from .paper_examples import figure3_loop
+
+    loop = figure3_loop()
+    blocks = [block_from_graph("CL.18", loop.loop_independent_subgraph())]
+    carried = [
+        (e.src, e.dst, e.latency, e.distance) for e in loop.carried_edges()
+    ]
+    return LoopTrace(blocks, carried_edges=carried)
+
+
+#: Reduction tree over eight loaded values — wide parallelism narrowing to a
+#: single sink; good for multi-unit experiments.
+REDUCTION_TEXT = """
+block reduce
+  l0 op=load defs=v0 uses=p loads=m lat=1 fu=memory
+  l1 op=load defs=v1 uses=p loads=m lat=1 fu=memory
+  l2 op=load defs=v2 uses=p loads=m lat=1 fu=memory
+  l3 op=load defs=v3 uses=p loads=m lat=1 fu=memory
+  l4 op=load defs=v4 uses=p loads=m lat=1 fu=memory
+  l5 op=load defs=v5 uses=p loads=m lat=1 fu=memory
+  l6 op=load defs=v6 uses=p loads=m lat=1 fu=memory
+  l7 op=load defs=v7 uses=p loads=m lat=1 fu=memory
+  a0 op=add defs=s0 uses=v0,v1 lat=1 fu=fixed
+  a1 op=add defs=s1 uses=v2,v3 lat=1 fu=fixed
+  a2 op=add defs=s2 uses=v4,v5 lat=1 fu=fixed
+  a3 op=add defs=s3 uses=v6,v7 lat=1 fu=fixed
+  b0 op=add defs=t0 uses=s0,s1 lat=1 fu=fixed
+  b1 op=add defs=t1 uses=s2,s3 lat=1 fu=fixed
+  c0 op=add defs=u0 uses=t0,t1 lat=1 fu=fixed
+"""
+
+
+def reduction_trace() -> Trace:
+    return parse_trace(REDUCTION_TEXT)

@@ -1,0 +1,70 @@
+"""Random single-block loop generators (paper §5.2 benchmark family E6)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.loopgraph import LoopGraph
+from .random_dag import _rng
+
+
+def random_loop(
+    n: int,
+    edge_probability: float = 0.3,
+    carried_probability: float = 0.25,
+    latencies: Sequence[int] = (0, 1),
+    carried_latencies: Sequence[int] = (1, 2, 4),
+    max_distance: int = 1,
+    self_loops: bool = True,
+    seed: int | np.random.Generator | None = 0,
+    prefix: str = "op",
+) -> LoopGraph:
+    """Random loop body: a random DAG of loop-independent edges plus carried
+    edges (any direction, distance 1..max_distance).  At least one carried
+    edge is guaranteed so the §5.2 machinery always has work to do."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+    g = LoopGraph()
+    names = [f"{prefix}{i}" for i in range(n)]
+    for name in names:
+        g.add_node(name)
+    lat = list(latencies)
+    clat = list(carried_latencies)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < edge_probability:
+                g.add_edge(names[i], names[j], int(rng.choice(lat)), 0)
+    carried_added = 0
+    for i in range(n):
+        for j in range(n):
+            if i == j and not self_loops:
+                continue
+            if rng.random() < carried_probability:
+                dist = int(rng.integers(1, max_distance + 1))
+                g.add_edge(names[i], names[j], int(rng.choice(clat)), dist)
+                carried_added += 1
+    if carried_added == 0:
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        g.add_edge(names[i], names[j], int(rng.choice(clat)), 1)
+    return g
+
+
+def recurrence_loop(
+    chain: int, recurrence_latency: int = 4, prefix: str = "op"
+) -> LoopGraph:
+    """A chain body whose last node feeds the first of the next iteration
+    with a long latency — the shape of Figure 8 scaled up."""
+    if chain < 2:
+        raise ValueError("chain must be >= 2")
+    g = LoopGraph()
+    names = [f"{prefix}{i}" for i in range(chain)]
+    for name in names:
+        g.add_node(name)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b, 1, 0)
+    g.add_edge(names[-1], names[0], recurrence_latency, 1)
+    return g

@@ -1,0 +1,142 @@
+"""The exact dependence graphs of the paper's worked examples.
+
+Figure 1 and Figure 2 are reconstructed from the rank values printed in §2
+(the reconstruction reproduces *every* rank the paper lists — see
+``tests/workloads/test_paper_examples.py``); Figure 3 is transcribed from the
+printed RS/6000 instruction sequence and its dependence graph; Figure 8 from
+the counter-example discussion in §5.2.2.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock, Trace, block_from_graph
+from ..ir.depgraph import DependenceGraph, graph_from_edges
+from ..ir.instruction import Instruction
+from ..ir.loopgraph import LoopGraph, loop_from_edges
+
+#: Program order chosen for BB1 so that rank ties resolve to the ordering the
+#: paper picks ("Suppose the ordering we choose is: e, x, b, w, a, r").
+FIG1_NODES = ("e", "x", "b", "w", "a", "r")
+
+#: Latency-1 edges of Figure 1's basic block BB1.  With deadline 100 these
+#: give exactly the paper's ranks: rank(a)=rank(r)=100, rank(w)=rank(b)=98,
+#: rank(x)=rank(e)=95.
+FIG1_EDGES = (
+    ("e", "b", 1),
+    ("e", "w", 1),
+    ("x", "b", 1),
+    ("x", "w", 1),
+    ("x", "r", 1),
+    ("b", "a", 1),
+    ("w", "a", 1),
+)
+
+
+def figure1_bb1() -> DependenceGraph:
+    """Basic block BB1 of Figure 1 (six unit-time instructions)."""
+    return graph_from_edges(FIG1_EDGES, nodes=FIG1_NODES)
+
+
+FIG2_NODES = ("z", "q", "p", "v", "g")
+
+#: Edges of Figure 2's BB2.  With the cross edge w→z (latency 1) and deadline
+#: 100 on BB1 ∪ BB2 these reproduce the paper's merged ranks:
+#: g=v=a=r=100, p=b=98, q=97, z=95, w=93, e=91, x=90.
+FIG2_EDGES = (
+    ("z", "q", 1),
+    ("z", "v", 1),
+    ("q", "p", 0),
+    ("p", "g", 1),
+)
+
+#: The inter-block dependence added in the second half of §2.3.
+FIG2_CROSS_EDGE = ("w", "z", 1)
+
+
+def figure2_bb2() -> DependenceGraph:
+    """Basic block BB2 of Figure 2 (five unit-time instructions)."""
+    return graph_from_edges(FIG2_EDGES, nodes=FIG2_NODES)
+
+
+def figure2_trace(with_cross_edge: bool = True) -> Trace:
+    """The two-block trace BB1, BB2 of §2.3, optionally with the latency-1
+    edge from instruction w (BB1) to instruction z (BB2)."""
+    blocks = [
+        block_from_graph("BB1", figure1_bb1()),
+        block_from_graph("BB2", figure2_bb2()),
+    ]
+    cross = [FIG2_CROSS_EDGE] if with_cross_edge else []
+    return Trace(blocks, cross_edges=cross)
+
+
+#: Figure 3 loop-body instruction sequence (IBM RS/6000 flavour).  LOAD and
+#: COMPARE have latency 1, MULTIPLY latency 4 (paper's stated latencies); the
+#: STORE belongs to the *previous* software-pipelined iteration.
+FIG3_TEXT = """
+block CL.18
+  L4 op=load  defs=gr6,gr7 uses=gr7     loads=x  lat=1
+  ST op=store defs=gr5     uses=gr5,gr0 stores=y lat=1
+  C4 op=cmp   defs=cr1     uses=gr6              lat=1
+  M  op=mul   defs=gr0     uses=gr6,gr0          lat=4
+  BT op=bt                 uses=cr1              lat=1 branch
+"""
+
+FIG3_NODES = ("L4", "ST", "C4", "M", "BT")
+
+#: ⟨latency, distance⟩ dependence edges of Figure 3's loop body.
+#: distance 0 = loop-independent, distance 1 = loop-carried.
+FIG3_EDGES = (
+    # loop-independent data dependences
+    ("L4", "C4", 1, 0),   # gr6 RAW, load latency 1
+    ("L4", "M", 1, 0),    # gr6 RAW
+    ("ST", "M", 0, 0),    # gr0 WAR: store reads y[i-1]'s value before M overwrites
+    # control dependences: everything precedes the branch
+    ("L4", "BT", 0, 0),
+    ("ST", "BT", 0, 0),
+    ("M", "BT", 0, 0),
+    ("C4", "BT", 1, 0),   # cr1 RAW, compare latency 1
+    # loop-carried dependences
+    ("M", "ST", 4, 1),    # gr0 RAW across iterations (the software pipeline)
+    ("M", "M", 4, 1),     # gr0 RAW self-dependence
+    ("L4", "L4", 1, 1),   # gr7 index update
+    ("ST", "ST", 1, 1),   # gr5 index update
+    ("C4", "L4", 0, 1),   # gr6 WAR into the next iteration's load
+    ("M", "L4", 0, 1),    # gr6 WAR
+)
+
+
+def figure3_loop() -> LoopGraph:
+    """Loop dependence graph of Figure 3 (partial-products kernel)."""
+    return loop_from_edges(FIG3_EDGES, nodes=FIG3_NODES)
+
+
+#: The paper's two candidate schedules for the Figure 3 loop body.
+FIG3_SCHEDULE1 = ("L4", "ST", "C4", "M", "BT")  # block-optimal, 5 cycles; II=7
+FIG3_SCHEDULE2 = ("L4", "ST", "M", "C4", "BT")  # 6 cycles standalone; II=6
+
+
+def figure3_instructions() -> list[Instruction]:
+    """The Figure 3 loop body as parsed instructions (for the examples)."""
+    from ..ir.parser import parse_program
+
+    return parse_program(FIG3_TEXT)[0][1]
+
+
+FIG8_NODES = ("1", "2", "3")
+
+#: Figure 8 counter-example: G_li has sources 1 and 2 feeding sink 3 with
+#: latency-1 edges; the carried edge 3→1 ⟨1,1⟩ makes node 1 wait on the
+#: previous iteration, so node 2 should be scheduled first.
+FIG8_EDGES = (
+    ("1", "3", 1, 0),
+    ("2", "3", 1, 0),
+    ("3", "1", 1, 1),
+)
+
+
+def figure8_loop() -> LoopGraph:
+    return loop_from_edges(FIG8_EDGES, nodes=FIG8_NODES)
+
+
+FIG8_SCHEDULE_S1 = ("1", "2", "3")  # completion 5n - 1 under in-order issue
+FIG8_SCHEDULE_S2 = ("2", "1", "3")  # completion 4n under in-order issue

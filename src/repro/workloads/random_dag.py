@@ -1,0 +1,148 @@
+"""Seeded random dependence-DAG generators.
+
+The paper's proposed evaluation ("compare their effectiveness with known
+local and global scheduling algorithms", §7) needs workloads; since the
+prototype study was never published, we generate synthetic basic blocks with
+controlled shape parameters: size, edge density, latency mix, execution-time
+mix and functional-unit mix.  All generators take a :class:`numpy.random
+.Generator` (or a seed) so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.depgraph import DependenceGraph
+from ..ir.instruction import ANY
+
+
+def _rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def random_dag(
+    n: int,
+    edge_probability: float = 0.25,
+    latencies: Sequence[int] = (0, 1),
+    latency_weights: Sequence[float] | None = None,
+    exec_times: Sequence[int] = (1,),
+    fu_classes: Sequence[str] = (ANY,),
+    seed: int | np.random.Generator | None = 0,
+    prefix: str = "n",
+) -> DependenceGraph:
+    """Erdős-Rényi-style random DAG: edge (i, j) for i < j with the given
+    probability; edge latency / node execution time / FU class sampled from
+    the given alphabets.  Node order is the program order."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = _rng(seed)
+    lat = list(latencies)
+    weights = None
+    if latency_weights is not None:
+        w = np.asarray(latency_weights, dtype=float)
+        weights = w / w.sum()
+    g = DependenceGraph()
+    names = [f"{prefix}{i}" for i in range(n)]
+    for name in names:
+        g.add_node(
+            name,
+            exec_time=int(rng.choice(list(exec_times))),
+            fu_class=str(rng.choice(list(fu_classes))),
+        )
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < edge_probability:
+                g.add_edge(names[i], names[j], int(rng.choice(lat, p=weights)))
+    return g
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    forward_probability: float = 0.5,
+    latencies: Sequence[int] = (0, 1),
+    seed: int | np.random.Generator | None = 0,
+    prefix: str = "n",
+) -> DependenceGraph:
+    """Layered DAG (typical expression-tree/pipeline shape): nodes arranged
+    in ``layers`` rows of ``width``; edges go from one layer to the next with
+    the given probability, plus one guaranteed in-edge per non-root node so
+    no layer is disconnected."""
+    rng = _rng(seed)
+    g = DependenceGraph()
+    grid: list[list[str]] = []
+    k = 0
+    for li in range(layers):
+        row = []
+        for _ in range(width):
+            name = f"{prefix}{k}"
+            k += 1
+            g.add_node(name)
+            row.append(name)
+        grid.append(row)
+    lat = list(latencies)
+    for li in range(1, layers):
+        for dst in grid[li]:
+            added = False
+            for src in grid[li - 1]:
+                if rng.random() < forward_probability:
+                    g.add_edge(src, dst, int(rng.choice(lat)))
+                    added = True
+            if not added:
+                src = grid[li - 1][int(rng.integers(width))]
+                g.add_edge(src, dst, int(rng.choice(lat)))
+    return g
+
+
+def fork_join_dag(
+    branches: int,
+    branch_length: int,
+    latency: int = 1,
+    prefix: str = "n",
+) -> DependenceGraph:
+    """Deterministic fork-join: one source fans out into ``branches`` chains
+    of ``branch_length`` that re-join at one sink.  A worst case for greedy
+    local scheduling, a best case for idle-slot delaying."""
+    g = DependenceGraph()
+    src, snk = f"{prefix}src", f"{prefix}snk"
+    g.add_node(src)
+    chains: list[list[str]] = []
+    for b in range(branches):
+        chain = []
+        for i in range(branch_length):
+            name = f"{prefix}b{b}_{i}"
+            g.add_node(name)
+            chain.append(name)
+        chains.append(chain)
+    g.add_node(snk)
+    for chain in chains:
+        g.add_edge(src, chain[0], latency)
+        for a, b in zip(chain, chain[1:]):
+            g.add_edge(a, b, latency)
+        g.add_edge(chain[-1], snk, latency)
+    return g
+
+
+def chain_dag(n: int, latency: int = 1, prefix: str = "n") -> DependenceGraph:
+    """A single dependence chain — maximum serialization."""
+    g = DependenceGraph()
+    names = [f"{prefix}{i}" for i in range(n)]
+    for name in names:
+        g.add_node(name)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b, latency)
+    return g
+
+
+def independent_dag(n: int, prefix: str = "n") -> DependenceGraph:
+    """n independent instructions — maximum parallelism."""
+    g = DependenceGraph()
+    for i in range(n):
+        g.add_node(f"{prefix}{i}")
+    return g

@@ -1,0 +1,124 @@
+"""Random trace generators (sequences of basic blocks with cross-block
+dependences) for the E5/E7/E8/E9 benchmark families."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.basicblock import BasicBlock, LoopTrace, Trace, block_from_graph
+from ..ir.instruction import ANY
+from .random_dag import _rng, random_dag
+
+
+def random_trace(
+    num_blocks: int,
+    block_size: int | tuple[int, int],
+    edge_probability: float = 0.25,
+    cross_probability: float = 0.08,
+    cross_span: int = 1,
+    latencies: Sequence[int] = (0, 1),
+    exec_times: Sequence[int] = (1,),
+    fu_classes: Sequence[str] = (ANY,),
+    seed: int | np.random.Generator | None = 0,
+) -> Trace:
+    """A trace of ``num_blocks`` random basic blocks.
+
+    ``block_size`` is either a fixed size or an inclusive (lo, hi) range
+    sampled per block.  ``cross_probability`` is the probability of a
+    dependence edge between a pair of instructions in different blocks at
+    block distance ≤ ``cross_span`` (latency sampled from ``latencies``);
+    these are the edges that make anticipatory scheduling interesting — with
+    none, blocks overlap freely and local scheduling with idle-delaying is
+    already near-optimal.
+    """
+    rng = _rng(seed)
+    blocks: list[BasicBlock] = []
+    members: list[list[str]] = []
+    for b in range(num_blocks):
+        if isinstance(block_size, tuple):
+            lo, hi = block_size
+            size = int(rng.integers(lo, hi + 1))
+        else:
+            size = block_size
+        g = random_dag(
+            size,
+            edge_probability=edge_probability,
+            latencies=latencies,
+            exec_times=exec_times,
+            fu_classes=fu_classes,
+            seed=rng,
+            prefix=f"b{b}_",
+        )
+        blocks.append(block_from_graph(f"BB{b + 1}", g))
+        members.append(g.nodes)
+    lat = list(latencies)
+    cross: list[tuple[str, str, int]] = []
+    for bi in range(num_blocks):
+        for bj in range(bi + 1, min(bi + cross_span, num_blocks - 1) + 1):
+            for u in members[bi]:
+                for v in members[bj]:
+                    if rng.random() < cross_probability:
+                        cross.append((u, v, int(rng.choice(lat))))
+    return Trace(blocks, cross_edges=cross)
+
+
+def random_loop_trace(
+    num_blocks: int,
+    block_size: int | tuple[int, int],
+    edge_probability: float = 0.25,
+    cross_probability: float = 0.08,
+    carried_probability: float = 0.06,
+    carried_latencies: Sequence[int] = (1, 2, 4),
+    latencies: Sequence[int] = (0, 1),
+    seed: int | np.random.Generator | None = 0,
+) -> LoopTrace:
+    """A loop enclosing a random trace (paper §5.1): the trace plus
+    distance-1 carried edges from late blocks back into early ones."""
+    rng = _rng(seed)
+    base = random_trace(
+        num_blocks,
+        block_size,
+        edge_probability=edge_probability,
+        cross_probability=cross_probability,
+        latencies=latencies,
+        seed=rng,
+    )
+    carried: list[tuple[str, str, int, int]] = []
+    clat = list(carried_latencies)
+    order = base.program_order()
+    for u in order:
+        for v in order:
+            bu, bv = base.block_index(u), base.block_index(v)
+            if bu >= bv and rng.random() < carried_probability:
+                carried.append((u, v, int(rng.choice(clat)), 1))
+    return LoopTrace(base.blocks, base.cross_edges, carried)
+
+
+def chain_of_blocks(
+    num_blocks: int,
+    block_graphs: Sequence,
+    seam_latency: int = 1,
+    seed: int | np.random.Generator | None = 0,
+    seam_edges_per_boundary: int = 1,
+) -> Trace:
+    """Wire pre-built block graphs into a trace with ``seam_edges_per_
+    boundary`` random sink→source latency edges across each boundary —
+    a controlled way to create seam stalls for the ablation benchmarks."""
+    rng = _rng(seed)
+    if len(block_graphs) != num_blocks:
+        raise ValueError("need exactly one graph per block")
+    blocks = [
+        block_from_graph(f"BB{i + 1}", g) for i, g in enumerate(block_graphs)
+    ]
+    cross: list[tuple[str, str, int]] = []
+    for i in range(num_blocks - 1):
+        sinks = blocks[i].graph.sinks()
+        sources = blocks[i + 1].graph.sources()
+        for _ in range(seam_edges_per_boundary):
+            u = sinks[int(rng.integers(len(sinks)))]
+            v = sources[int(rng.integers(len(sources)))]
+            if (u, v, seam_latency) not in cross:
+                cross.append((u, v, seam_latency))
+    return Trace(blocks, cross_edges=cross)

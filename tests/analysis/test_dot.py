@@ -1,0 +1,49 @@
+"""Unit tests for DOT export."""
+
+from repro.analysis import graph_to_dot, loop_to_dot, schedule_to_dot, trace_to_dot
+from repro.core import rank_schedule
+from repro.workloads import figure1_bb1, figure2_trace, figure3_loop
+
+
+class TestGraphDot:
+    def test_contains_nodes_and_edges(self):
+        dot = graph_to_dot(figure1_bb1())
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+        for n in "exbwar":
+            assert f'"{n}"' in dot
+        assert '"x" -> "w"' in dot
+
+    def test_annotations(self):
+        from repro.ir import graph_from_edges
+
+        g = graph_from_edges(
+            [("a", "b", 0)], exec_times={"a": 3}, fu_classes={"a": "float"}
+        )
+        dot = graph_to_dot(g)
+        assert "(3 cyc)" in dot
+        assert "[float]" in dot
+        assert "style=dashed" in dot  # latency-0 edge
+
+
+class TestLoopDot:
+    def test_carried_edges_highlighted(self):
+        dot = loop_to_dot(figure3_loop())
+        assert "<4,1>" in dot
+        assert "color=red" in dot
+
+
+class TestTraceDot:
+    def test_clusters_per_block(self):
+        dot = trace_to_dot(figure2_trace(True))
+        assert "cluster_0" in dot and "cluster_1" in dot
+        assert '"w" -> "z"' in dot
+        assert "color=blue" in dot
+
+
+class TestScheduleDot:
+    def test_rank_same_grouping(self):
+        s, _ = rank_schedule(figure1_bb1())
+        dot = schedule_to_dot(s)
+        assert "rank=same" in dot
+        assert '"e@0"' in dot  # node annotated with its start time

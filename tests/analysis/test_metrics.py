@@ -1,0 +1,73 @@
+"""Unit tests for analysis metrics."""
+
+import pytest
+
+from repro.analysis import (
+    gap_recovered,
+    geometric_mean,
+    idle_stats,
+    overlap_cycles,
+    speedup,
+    utilization,
+)
+from repro.core import Schedule, algorithm_lookahead
+from repro.ir import graph_from_edges
+from repro.machine import paper_machine
+from repro.sim import simulate_trace
+from repro.workloads import figure2_trace
+
+
+class TestScalarMetrics:
+    def test_speedup(self):
+        assert speedup(10, 5) == 2.0
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+    def test_gap_recovered(self):
+        assert gap_recovered(local=13, anticipatory=11, global_bound=11) == 1.0
+        assert gap_recovered(local=13, anticipatory=12, global_bound=11) == 0.5
+        assert gap_recovered(local=13, anticipatory=13, global_bound=11) == 0.0
+        assert gap_recovered(local=10, anticipatory=10, global_bound=10) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestScheduleMetrics:
+    def test_idle_stats(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(g, {"a": 0, "b": 3})
+        st = idle_stats(s)
+        assert st.count == 2
+        assert st.first == 1 and st.last == 2
+
+    def test_idle_stats_packed(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(g, {"a": 0, "b": 1})
+        st = idle_stats(s)
+        assert st.count == 0 and st.first is None
+
+    def test_utilization(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(g, {"a": 0, "b": 3})
+        assert utilization(s) == pytest.approx(2 / 4)
+
+    def test_overlap_cycles_on_figure2(self):
+        t = figure2_trace(with_cross_edge=False)
+        m = paper_machine(2)
+        res = algorithm_lookahead(t, m)
+        sim = simulate_trace(t, res.block_orders, m)
+        # z fills BB1's idle slot: at least the trailing BB1 instruction(s)
+        # issue after a BB2 instruction.
+        assert overlap_cycles(t, sim.schedule) >= 1
+
+    def test_no_overlap_with_window_1(self):
+        t = figure2_trace(with_cross_edge=False)
+        m = paper_machine(1)
+        orders = [list(t.block_nodes(i)) for i in range(2)]
+        sim = simulate_trace(t, orders, m)
+        assert overlap_cycles(t, sim.schedule) == 0

@@ -1,0 +1,62 @@
+"""Unit tests for table rendering and output verification."""
+
+import pytest
+
+from repro.analysis import (
+    OutputError,
+    check_block_orders,
+    format_table,
+    verify_scheduler_output,
+)
+from repro.ir import Trace, block_from_graph, graph_from_edges
+from repro.machine import paper_machine
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "n"], [["alpha", 1], ["b", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+
+def make_trace():
+    g1 = graph_from_edges([("a", "b", 1)])
+    g2 = graph_from_edges([], nodes=["c"])
+    return Trace([block_from_graph("B1", g1), block_from_graph("B2", g2)])
+
+
+class TestVerify:
+    def test_accepts_valid_orders(self):
+        t = make_trace()
+        verify_scheduler_output(t, [["a", "b"], ["c"]], paper_machine(2))
+
+    def test_rejects_wrong_block_count(self):
+        t = make_trace()
+        with pytest.raises(OutputError, match="block orders"):
+            check_block_orders(t, [["a", "b"]])
+
+    def test_rejects_non_permutation(self):
+        t = make_trace()
+        with pytest.raises(OutputError, match="permutation"):
+            check_block_orders(t, [["a", "a"], ["c"]])
+
+    def test_rejects_cross_block_motion(self):
+        t = make_trace()
+        with pytest.raises(OutputError, match="permutation"):
+            check_block_orders(t, [["a", "c"], ["b"]])
+
+    def test_rejects_dependence_violating_order(self):
+        t = make_trace()
+        with pytest.raises(OutputError, match="dependence"):
+            check_block_orders(t, [["b", "a"], ["c"]])

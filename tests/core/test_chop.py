@@ -1,0 +1,81 @@
+"""Unit tests for Procedure Chop (paper Fig. 6)."""
+
+import pytest
+
+from repro.core import Schedule, chop
+from repro.core.rank import fill_deadlines
+from repro.ir import graph_from_edges
+
+
+def sched_with_idles(starts, nodes=None, edges=()):
+    g = graph_from_edges(edges, nodes=nodes or list(starts))
+    return Schedule(g, starts)
+
+
+class TestNoChop:
+    def test_no_idle_slots(self):
+        s = sched_with_idles({"a": 0, "b": 1, "c": 2})
+        d = fill_deadlines(s.graph)
+        res = chop(s, d, window_size=2)
+        assert res.committed == []
+        assert res.suffix.starts == s.starts
+        assert res.shift == 0
+
+    def test_fewer_nodes_than_window(self):
+        s = sched_with_idles({"a": 0, "b": 2})
+        res = chop(s, fill_deadlines(s.graph), window_size=3)
+        assert res.committed == []
+        assert res.shift == 0
+
+    def test_all_slots_fillable(self):
+        # Idle at 2 with 2 nodes after it; W=3 can reach it: no commit.
+        s = sched_with_idles({"a": 0, "b": 1, "c": 3, "d": 4})
+        res = chop(s, fill_deadlines(s.graph), window_size=3)
+        assert res.committed == []
+
+    def test_invalid_window(self):
+        s = sched_with_idles({"a": 0})
+        with pytest.raises(ValueError):
+            chop(s, fill_deadlines(s.graph), window_size=0)
+
+
+class TestChopping:
+    def test_commits_prefix_before_unreachable_slot(self):
+        # Schedule a b _ c d, W=2: slot t=2 has 2 >= W followers: commit a b.
+        s = sched_with_idles({"a": 0, "b": 1, "c": 3, "d": 4})
+        d = fill_deadlines(s.graph)
+        res = chop(s, d, window_size=2)
+        assert res.committed == ["a", "b"]
+        assert res.shift == 3
+        assert res.suffix.starts == {"c": 0, "d": 1}
+
+    def test_suffix_deadlines_shifted(self):
+        s = sched_with_idles({"a": 0, "b": 1, "c": 3, "d": 4})
+        d = {n: 5 for n in s.graph.nodes}
+        res = chop(s, d, window_size=2)
+        assert res.suffix_deadlines == {"c": 2, "d": 2}
+
+    def test_picks_last_unreachable_slot(self):
+        # a _ b _ c d e, W=2: slot 1 has 4 followers, slot 3 has 3: pick 3.
+        s = sched_with_idles({"a": 0, "b": 2, "c": 4, "d": 5, "e": 6})
+        res = chop(s, fill_deadlines(s.graph), window_size=2)
+        assert res.shift == 4
+        assert res.committed == ["a", "b"]
+        assert set(res.suffix.starts) == {"c", "d", "e"}
+
+    def test_keeps_at_least_window_nodes(self):
+        s = sched_with_idles(
+            {"a": 0, "b": 2, "c": 4, "d": 5, "e": 6}
+        )
+        for w in (2, 3):
+            res = chop(s, fill_deadlines(s.graph), window_size=w)
+            if res.shift:
+                assert len(res.suffix) >= w
+
+    def test_suffix_is_valid_schedule(self):
+        s = sched_with_idles(
+            {"a": 0, "b": 2, "c": 4, "d": 5, "e": 6},
+            edges=[("a", "b", 1), ("c", "d", 0)],
+        )
+        res = chop(s, fill_deadlines(s.graph), window_size=2)
+        res.suffix.validate()

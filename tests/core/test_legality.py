@@ -1,0 +1,110 @@
+"""Unit tests for Definitions 2.1–2.3 (legal schedules)."""
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    algorithm_lookahead,
+    block_orders_of,
+    inversions,
+    is_legal_schedule,
+    satisfies_ordering_constraint,
+    satisfies_window_constraint,
+)
+from repro.ir import Trace, block_from_graph, graph_from_edges
+from repro.machine import paper_machine
+from repro.sim import simulate_trace
+from repro.workloads import figure2_trace, random_trace
+
+
+def tiny_trace():
+    g1 = graph_from_edges([], nodes=["a", "b"])
+    g2 = graph_from_edges([], nodes=["c", "d"])
+    return Trace([block_from_graph("B1", g1), block_from_graph("B2", g2)])
+
+
+class TestInversions:
+    def test_no_inversions_in_block_order(self):
+        t = tiny_trace()
+        assert inversions(t, ["a", "b", "c", "d"]) == []
+
+    def test_single_inversion(self):
+        t = tiny_trace()
+        inv = inversions(t, ["a", "c", "b", "d"])
+        assert len(inv) == 1
+        assert (inv[0].earlier_node, inv[0].later_node) == ("c", "b")
+        assert inv[0].span == 2
+
+    def test_span_computation(self):
+        t = tiny_trace()
+        inv = inversions(t, ["c", "a", "b", "d"])
+        spans = sorted(i.span for i in inv)
+        assert spans == [2, 3]  # c before a (span 2) and c before b (span 3)
+
+
+class TestWindowConstraint:
+    def test_within_window(self):
+        t = tiny_trace()
+        assert satisfies_window_constraint(t, ["a", "c", "b", "d"], 2)
+
+    def test_exceeds_window(self):
+        t = tiny_trace()
+        assert not satisfies_window_constraint(t, ["c", "a", "b", "d"], 2)
+        assert satisfies_window_constraint(t, ["c", "a", "b", "d"], 3)
+
+    def test_block_orders_of(self):
+        t = tiny_trace()
+        assert block_orders_of(t, ["a", "c", "b", "d"]) == [
+            ["a", "b"],
+            ["c", "d"],
+        ]
+
+
+class TestOrderingConstraint:
+    def test_simulated_schedule_is_legal(self):
+        t = figure2_trace()
+        m = paper_machine(2)
+        res = algorithm_lookahead(t, m)
+        sim = simulate_trace(t, res.block_orders, m)
+        assert is_legal_schedule(t, sim.schedule, m)
+        # The Figure 2 runtime schedule also satisfies the paper's literal
+        # span-based window constraint.
+        assert is_legal_schedule(t, sim.schedule, m, strict=True)
+
+    def test_strict_window_constraint_is_conservative(self):
+        """Reproduction finding: the operational window hardware can emit
+        permutations whose inversion spans exceed W (two later-block
+        instructions overtaking a stalled run) — legal operationally,
+        illegal under the literal Definition 2.2 span check."""
+        t = random_trace(2, 4, cross_probability=0.0, latencies=(0, 1), seed=11)
+        m = paper_machine(4)
+        orders = algorithm_lookahead(t, m).block_orders
+        sim = simulate_trace(t, orders, m)
+        assert is_legal_schedule(t, sim.schedule, m)
+        assert not is_legal_schedule(t, sim.schedule, m, strict=True)
+
+    def test_delayed_schedule_violates_ordering(self):
+        """A schedule that gratuitously idles while an instruction is ready
+        cannot be produced greedily from its own priority list."""
+        t = tiny_trace()
+        m = paper_machine(2)
+        s = Schedule(t.graph, {"a": 0, "b": 2, "c": 3, "d": 4})
+        assert not satisfies_ordering_constraint(t, s, m)
+        assert not is_legal_schedule(t, s, m)
+
+    def test_invalid_schedule_is_illegal(self):
+        g1 = graph_from_edges([("a", "b", 1)])
+        g2 = graph_from_edges([], nodes=["c"])
+        t = Trace([block_from_graph("B1", g1), block_from_graph("B2", g2)])
+        s = Schedule(t.graph, {"a": 0, "b": 1, "c": 2})  # latency violated
+        assert not is_legal_schedule(t, s, paper_machine(2))
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("window", [1, 2, 4])
+    def test_every_simulation_is_legal(self, seed, window):
+        """By construction the simulator emits exactly the legal schedules."""
+        t = random_trace(3, (3, 5), cross_probability=0.1, seed=seed)
+        m = paper_machine(window)
+        orders = [list(t.block_nodes(i)) for i in range(t.num_blocks)]
+        sim = simulate_trace(t, orders, m)
+        assert is_legal_schedule(t, sim.schedule, m)

@@ -1,0 +1,122 @@
+"""Unit and small-scale optimality tests for Algorithm Lookahead (Fig. 5)."""
+
+import pytest
+
+from repro.analysis import verify_scheduler_output
+from repro.core import algorithm_lookahead, local_block_orders
+from repro.machine import MachineModel, paper_machine
+from repro.sim import simulate_trace
+from repro.workloads import figure2_trace, random_trace
+
+
+class TestFigure2:
+    def test_completion_11_with_cross_edge(self):
+        t = figure2_trace(with_cross_edge=True)
+        m = paper_machine(2)
+        res = algorithm_lookahead(t, m)
+        assert res.predicted_makespan == 11
+        sim = simulate_trace(t, res.block_orders, m)
+        assert sim.makespan == 11
+
+    def test_emitted_orders_match_paper(self):
+        t = figure2_trace(with_cross_edge=True)
+        res = algorithm_lookahead(t, paper_machine(2))
+        assert res.block_orders[0] == ["x", "e", "r", "w", "b", "a"]
+        assert res.block_orders[1] == ["z", "q", "p", "v", "g"]
+
+    def test_without_cross_edge(self):
+        t = figure2_trace(with_cross_edge=False)
+        res = algorithm_lookahead(t, paper_machine(2))
+        assert res.predicted_makespan == 11
+        # P1 = x e r b w a, P2 = z q p v g (paper's subpermutations).
+        assert res.block_orders[0] == ["x", "e", "r", "b", "w", "a"]
+        assert res.block_orders[1] == ["z", "q", "p", "v", "g"]
+
+    def test_priority_list_concatenates_blocks(self):
+        t = figure2_trace()
+        res = algorithm_lookahead(t, paper_machine(2))
+        assert res.priority_list == res.block_orders[0] + res.block_orders[1]
+
+    def test_beats_local_scheduling(self):
+        t = figure2_trace(with_cross_edge=True)
+        m = paper_machine(2)
+        anticipatory = simulate_trace(
+            t, algorithm_lookahead(t, m).block_orders, m
+        ).makespan
+        local = simulate_trace(
+            t, local_block_orders(t, m, delay_idles=False), m
+        ).makespan
+        assert anticipatory <= local
+
+
+class TestOutputs:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("window", [1, 2, 4])
+    def test_outputs_verified_on_random_traces(self, seed, window):
+        t = random_trace(3, (3, 6), cross_probability=0.1, seed=seed)
+        m = paper_machine(window)
+        res = algorithm_lookahead(t, m)
+        verify_scheduler_output(t, res.block_orders, m)
+
+    def test_predicted_matches_simulated_small_windows(self):
+        """In the optimal regime the predicted merged schedule must be
+        realizable by the hardware: simulation can only be ≤ predicted."""
+        for seed in range(8):
+            t = random_trace(3, (3, 6), cross_probability=0.12, seed=seed)
+            m = paper_machine(3)
+            res = algorithm_lookahead(t, m)
+            sim = simulate_trace(t, res.block_orders, m)
+            assert sim.makespan <= res.predicted_makespan
+
+    def test_single_block_trace(self):
+        t = random_trace(1, 6, seed=1)
+        m = paper_machine(4)
+        res = algorithm_lookahead(t, m)
+        assert len(res.block_orders) == 1
+        verify_scheduler_output(t, res.block_orders, m)
+
+    def test_steps_recorded(self):
+        t = figure2_trace()
+        res = algorithm_lookahead(t, paper_machine(2))
+        assert [s.block for s in res.steps] == ["BB1", "BB2"]
+        assert res.steps[1].merge.lower_bound == 11
+
+
+class TestSmallScaleOptimality:
+    """On tiny traces, the lookahead output must match the best possible
+    per-block orders found by exhaustive search (the paper's optimality
+    claim for unit times / 0/1 latencies / single FU)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exhaustive_order_search(self, seed):
+        from repro.schedulers import best_stream_order
+
+        t = random_trace(
+            2, 4, cross_probability=0.2, latencies=(0, 1), seed=seed
+        )
+        m = paper_machine(2)
+        res = algorithm_lookahead(t, m)
+        sim = simulate_trace(t, res.block_orders, m)
+        _, best = best_stream_order(
+            t.graph, [t.block_nodes(0), t.block_nodes(1)], m
+        )
+        assert sim.makespan == best
+
+
+class TestLocalBaseline:
+    def test_local_orders_are_valid(self):
+        t = random_trace(4, (3, 6), seed=2)
+        for delay in (False, True):
+            orders = local_block_orders(t, paper_machine(4), delay_idles=delay)
+            verify_scheduler_output(t, orders, paper_machine(4))
+
+    def test_delaying_idles_helps_on_figure2(self):
+        t = figure2_trace(with_cross_edge=False)
+        m = paper_machine(2)
+        plain = simulate_trace(
+            t, local_block_orders(t, m, delay_idles=False), m
+        ).makespan
+        delayed = simulate_trace(
+            t, local_block_orders(t, m, delay_idles=True), m
+        ).makespan
+        assert delayed < plain  # 11 vs 13: the idle slot becomes fillable

@@ -1,0 +1,207 @@
+"""Unit tests for the Rank Algorithm — including every rank value printed in
+the paper's §2 examples."""
+
+import pytest
+
+from repro.core import (
+    compute_ranks,
+    default_deadline,
+    fill_deadlines,
+    list_schedule,
+    minimum_makespan_schedule,
+    rank_priority_list,
+    rank_schedule,
+    rank_schedule_lenient,
+)
+from repro.ir import ANY, graph_from_edges
+from repro.machine import MachineModel
+from repro.workloads import figure1_bb1, figure2_trace, random_dag
+
+
+class TestPaperRanks:
+    def test_figure1_ranks_at_deadline_100(self):
+        """Paper §2.1: rank(a)=rank(r)=100, rank(w)=rank(b)=98,
+        rank(x)=rank(e)=95."""
+        g = figure1_bb1()
+        ranks = compute_ranks(g, {n: 100 for n in g.nodes})
+        assert ranks == {"a": 100, "r": 100, "w": 98, "b": 98, "x": 95, "e": 95}
+
+    def test_figure1_reduced_ranks(self):
+        """Paper §2.2: after reducing deadlines to the makespan 7 the ranks
+        become x=e=2, w=b=5, a=r=7."""
+        g = figure1_bb1()
+        ranks = compute_ranks(g, {n: 7 for n in g.nodes})
+        assert ranks == {"a": 7, "r": 7, "w": 5, "b": 5, "x": 2, "e": 2}
+
+    def test_figure2_merged_ranks(self):
+        """Paper §2.3: with the cross edge w→z and deadline 100 the merged
+        ranks are g=v=a=r=100, p=b=98, q=97, z=95, w=93, e=91, x=90."""
+        t = figure2_trace(with_cross_edge=True)
+        ranks = compute_ranks(t.graph, {n: 100 for n in t.graph.nodes})
+        expected = {
+            "g": 100, "v": 100, "a": 100, "r": 100,
+            "p": 98, "b": 98, "q": 97, "z": 95,
+            "w": 93, "e": 91, "x": 90,
+        }
+        assert ranks == expected
+
+    def test_rank_translation_invariance(self):
+        """Shifting all deadlines uniformly shifts all ranks uniformly —
+        the property our deadline-only state management relies on."""
+        g = figure1_bb1()
+        r100 = compute_ranks(g, {n: 100 for n in g.nodes})
+        r7 = compute_ranks(g, {n: 7 for n in g.nodes})
+        assert all(r100[n] - r7[n] == 93 for n in g.nodes)
+
+
+class TestRankProperties:
+    def test_rank_never_exceeds_deadline(self):
+        g = random_dag(25, edge_probability=0.2, seed=5)
+        d = {n: 40 for n in g.nodes}
+        ranks = compute_ranks(g, d)
+        assert all(ranks[n] <= 40 for n in g.nodes)
+
+    def test_rank_respects_successor_gap(self):
+        g = graph_from_edges([("a", "b", 1)])
+        ranks = compute_ranks(g, {"a": 10, "b": 10})
+        # b completes by 10 => starts by 9 => a completes by 8.
+        assert ranks["b"] == 10
+        assert ranks["a"] == 8
+
+    def test_sink_rank_equals_deadline(self):
+        g = figure1_bb1()
+        ranks = compute_ranks(g, {n: 42 for n in g.nodes})
+        assert ranks["a"] == 42 and ranks["r"] == 42
+
+    def test_partial_deadlines_filled(self):
+        g = graph_from_edges([("a", "b", 0)])
+        d = fill_deadlines(g, {"b": 3})
+        assert d["b"] == 3
+        assert d["a"] == default_deadline(g)
+
+
+class TestListSchedule:
+    def test_respects_priority_among_ready(self):
+        g = graph_from_edges([], nodes=["a", "b", "c"])
+        s = list_schedule(g, ["c", "a", "b"])
+        assert s.permutation() == ["c", "a", "b"]
+
+    def test_greedy_no_unnecessary_idle(self):
+        g = figure1_bb1()
+        s = list_schedule(g, rank_priority_list(g, compute_ranks(g)))
+        # Exactly one forced idle slot (makespan 7 for 6 unit-time nodes).
+        assert s.makespan == 7
+        assert len(s.idle_times()) == 1
+
+    def test_invalid_priority_rejected(self):
+        g = graph_from_edges([("a", "b", 0)])
+        with pytest.raises(ValueError, match="permutation"):
+            list_schedule(g, ["a"])
+
+    def test_schedule_is_valid(self):
+        g = random_dag(30, edge_probability=0.15, latencies=(0, 1, 2), seed=9)
+        s = list_schedule(g, g.nodes)
+        s.validate()
+
+    def test_multi_unit(self):
+        g = graph_from_edges([], nodes=["a", "b", "c", "d"])
+        m = MachineModel(window_size=1, fu_counts={ANY: 2})
+        s = list_schedule(g, g.nodes, m)
+        assert s.makespan == 2
+        s.validate()
+
+    def test_issue_width_limits(self):
+        g = graph_from_edges([], nodes=["a", "b", "c", "d"])
+        m = MachineModel(window_size=1, fu_counts={ANY: 4}, issue_width=1)
+        s = list_schedule(g, g.nodes, m)
+        assert s.makespan == 4
+
+    def test_typed_units(self):
+        g = graph_from_edges(
+            [], nodes=["f1", "f2", "m1"],
+            fu_classes={"f1": "fixed", "f2": "fixed", "m1": "memory"},
+        )
+        m = MachineModel(window_size=1, fu_counts={"fixed": 1, "memory": 1})
+        s = list_schedule(g, g.nodes, m)
+        assert s.makespan == 2  # two fixed ops serialize; memory in parallel
+        s.validate()
+
+    def test_missing_unit_class_rejected(self):
+        g = graph_from_edges([], nodes=["f1"], fu_classes={"f1": "float"})
+        m = MachineModel(window_size=1, fu_counts={"fixed": 1})
+        with pytest.raises(ValueError, match="lacks"):
+            list_schedule(g, g.nodes, m)
+
+    def test_non_unit_exec_times(self):
+        g = graph_from_edges([("a", "b", 0)], exec_times={"a": 3})
+        s = list_schedule(g, g.nodes)
+        assert s.start("b") == 3
+        assert s.makespan == 4
+
+
+class TestRankSchedule:
+    def test_figure1_schedule(self):
+        """Paper Fig. 1 middle: the Rank Algorithm emits e x _ b w r a."""
+        g = figure1_bb1()
+        s, ranks = rank_schedule(g)
+        assert s is not None
+        assert s.permutation() == ["e", "x", "b", "w", "r", "a"]
+        assert s.makespan == 7
+        assert s.idle_times() == [2]
+
+    def test_feasible_deadline_met(self):
+        g = figure1_bb1()
+        s, _ = rank_schedule(g, {n: 7 for n in g.nodes})
+        assert s is not None and s.makespan == 7
+
+    def test_infeasible_returns_none(self):
+        g = figure1_bb1()
+        s, _ = rank_schedule(g, {n: 6 for n in g.nodes})
+        assert s is None  # optimal makespan is 7
+
+    def test_single_node_deadline_violation(self):
+        g = graph_from_edges([("a", "b", 1)])
+        s, _ = rank_schedule(g, {"b": 2})  # b can complete at 3 earliest
+        assert s is None
+
+    def test_empty_graph(self):
+        from repro.ir import DependenceGraph
+
+        s, ranks = rank_schedule(DependenceGraph())
+        assert s is not None and s.makespan == 0
+
+    def test_lenient_returns_schedule_and_flag(self):
+        g = figure1_bb1()
+        s, _, feasible = rank_schedule_lenient(g, {n: 6 for n in g.nodes})
+        assert not feasible
+        assert s.makespan >= 7
+        s.validate()
+
+    def test_minimum_makespan_on_chain(self):
+        g = graph_from_edges([("a", "b", 2), ("b", "c", 2)])
+        s = minimum_makespan_schedule(g)
+        assert s.makespan == 3 * 1 + 2 * 2  # three units + two latency-2 gaps
+
+    def test_deadline_changes_order(self):
+        """A tight deadline on a low-priority node must pull it forward."""
+        g = graph_from_edges([], nodes=["a", "b", "c"])
+        s, _ = rank_schedule(g, {"c": 1})
+        assert s is not None
+        assert s.start("c") == 0
+
+
+class TestRankOptimality:
+    """The Rank Algorithm is optimal for unit times, 0/1 latencies, 1 FU —
+    verified against the brute-force oracle on a fixed corpus (the
+    hypothesis suite fuzzes this further)."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_bruteforce_makespan(self, seed):
+        from repro.schedulers import optimal_makespan
+
+        g = random_dag(
+            8, edge_probability=0.3, latencies=(0, 1), seed=seed
+        )
+        s, _ = rank_schedule(g)
+        assert s is not None
+        assert s.makespan == optimal_makespan(g)

@@ -1,0 +1,150 @@
+"""Unit tests for the Schedule value type."""
+
+import pytest
+
+from repro.core import SINGLE_UNIT, Schedule, ScheduleError
+from repro.ir import graph_from_edges
+from repro.machine import MachineModel
+
+
+def simple_graph():
+    return graph_from_edges([("a", "b", 1), ("a", "c", 0)])
+
+
+class TestConstruction:
+    def test_missing_node_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ScheduleError, match="misses"):
+            Schedule(g, {"a": 0, "b": 2})
+
+    def test_unknown_node_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ScheduleError, match="unknown"):
+            Schedule(g, {"a": 0, "b": 2, "c": 1, "zzz": 5})
+
+    def test_negative_start_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ScheduleError, match="negative"):
+            Schedule(g, {"a": -1, "b": 2, "c": 1})
+
+    def test_default_single_unit(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "b": 3, "c": 1})
+        assert s.unit("a") == SINGLE_UNIT
+
+
+class TestAccessors:
+    def test_makespan_and_completion(self):
+        g = graph_from_edges([], nodes=["a", "b"], exec_times={"b": 3})
+        s = Schedule(g, {"a": 0, "b": 1})
+        assert s.completion("a") == 1
+        assert s.completion("b") == 4
+        assert s.makespan == 4
+
+    def test_empty_schedule(self):
+        from repro.ir import DependenceGraph
+
+        s = Schedule(DependenceGraph(), {})
+        assert s.makespan == 0
+        assert s.idle_slots() == []
+
+    def test_permutation_orders_by_start(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 1, "b": 3})
+        assert s.permutation() == ["a", "c", "b"]
+
+    def test_subpermutation(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 1, "b": 3})
+        assert s.subpermutation(["b", "a"]) == ["a", "b"]
+
+
+class TestIdleSlots:
+    def test_idle_times_single_unit(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 2, "b": 4})
+        assert s.idle_times() == [1, 3]
+
+    def test_no_idle_when_packed(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 1, "b": 2})
+        assert s.idle_times() == []
+
+    def test_multicycle_occupies_range(self):
+        g = graph_from_edges([], nodes=["a"], exec_times={"a": 3})
+        s = Schedule(g, {"a": 0})
+        assert s.idle_times() == []
+
+    def test_tail_node(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 2, "b": 4})
+        assert s.tail_node(1) == "a"
+        assert s.tail_node(3) == "c"
+        assert s.tail_node(0) is None
+
+    def test_u_sets(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 2, "b": 4})
+        assert s.u_sets() == [["a"], ["c"], ["b"]]
+
+    def test_u_sets_no_idle(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 1, "b": 2})
+        assert s.u_sets() == [["a", "c", "b"]]
+
+    def test_multi_unit_idle(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(
+            g, {"a": 0, "b": 2}, {"a": ("any", 0), "b": ("any", 1)}
+        )
+        # Unit 0 idle at 1, 2; unit 1 idle at 0, 1 (makespan 3).
+        slots = s.idle_slots()
+        assert {(sl.time, sl.unit) for sl in slots} == {
+            (1, ("any", 0)),
+            (2, ("any", 0)),
+            (0, ("any", 1)),
+            (1, ("any", 1)),
+        }
+
+
+class TestValidation:
+    def test_valid_schedule(self):
+        g = simple_graph()
+        Schedule(g, {"a": 0, "c": 1, "b": 2}).validate()
+
+    def test_latency_violation(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "b": 1, "c": 2})
+        with pytest.raises(ScheduleError, match="dependence violated"):
+            s.validate()
+
+    def test_resource_violation(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(g, {"a": 0, "b": 0})
+        with pytest.raises(ScheduleError, match="runs both"):
+            s.validate()
+        assert not s.is_valid()
+
+    def test_feasibility_and_tardiness(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 1, "b": 2})
+        assert s.is_feasible({"b": 3})
+        assert not s.is_feasible({"b": 2})
+        assert s.tardiness({"b": 2}) == 1
+        assert s.tardiness({"b": 5}) == 0
+
+
+class TestPresentation:
+    def test_gantt_contains_nodes_and_idle(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 2, "b": 4})
+        text = s.gantt()
+        for n in ["a", "b", "c"]:
+            assert n in text
+
+    def test_equality_and_copy(self):
+        g = simple_graph()
+        s = Schedule(g, {"a": 0, "c": 1, "b": 2})
+        assert s == s.copy()
+        t = Schedule(g, {"a": 0, "c": 2, "b": 4})
+        assert s != t

@@ -1,0 +1,42 @@
+"""Coverage for Schedule/graph accessors added during development."""
+
+from repro.core import Schedule
+from repro.ir import graph_from_edges
+from repro.workloads import figure1_bb1
+
+
+class TestGlobalIdleTimes:
+    def test_single_unit_equals_idle_times(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(g, {"a": 0, "b": 3})
+        assert s.global_idle_times() == s.idle_times() == [1, 2]
+
+    def test_multi_unit_global_stall(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = Schedule(g, {"a": 0, "b": 4}, {"a": ("any", 0), "b": ("any", 1)})
+        # Unit 0 idle 1-4, unit 1 idle 0-3; both idle only at 1,2,3.
+        assert s.global_idle_times() == [1, 2, 3]
+
+    def test_spanning_instruction_blocks_global_idle(self):
+        g = graph_from_edges([], nodes=["a", "b"], exec_times={"a": 4})
+        s = Schedule(g, {"a": 0, "b": 5}, {"a": ("any", 0), "b": ("any", 1)})
+        assert s.global_idle_times() == [4]
+
+
+class TestGraphIndexAccessors:
+    def test_node_index_matches_program_order(self):
+        g = figure1_bb1()
+        for i, n in enumerate(g.nodes):
+            assert g.node_index(n) == i
+
+    def test_reachability_row(self):
+        g = figure1_bb1()
+        row = g.reachability_row("x")
+        desc = {g.nodes[i] for i in range(len(g)) if row[i]}
+        assert desc == {"w", "b", "a", "r"}
+
+    def test_analysis_cache_cleared_on_mutation(self):
+        g = figure1_bb1()
+        g.analysis_cache["probe"] = 1
+        g.add_node("fresh")
+        assert "probe" not in g.analysis_cache

@@ -1,0 +1,135 @@
+"""Headline reproduction assertions: every number the paper prints.
+
+One test per claim, named after the figure it pins.  These are the
+ground-truth checks that EXPERIMENTS.md reports.
+"""
+
+from repro.core import (
+    algorithm_lookahead,
+    compute_ranks,
+    delay_idle_slots,
+    makespan_deadlines,
+    rank_schedule,
+    schedule_single_block_loop,
+)
+from repro.machine import paper_machine
+from repro.sim import (
+    in_order_offsets,
+    periodic_initiation_interval,
+    simulate_loop_order,
+    simulate_trace,
+)
+from repro.workloads import (
+    FIG3_SCHEDULE1,
+    FIG3_SCHEDULE2,
+    FIG8_SCHEDULE_S1,
+    FIG8_SCHEDULE_S2,
+    figure1_bb1,
+    figure2_trace,
+    figure3_loop,
+    figure8_loop,
+)
+
+
+class TestFigure1:
+    """Fig. 1: dependence graph, Rank-Algorithm schedule, delayed idle slot."""
+
+    def test_ranks_at_artificial_deadline_100(self):
+        ranks = compute_ranks(figure1_bb1(), {n: 100 for n in "exbwar"})
+        assert (ranks["a"], ranks["r"]) == (100, 100)
+        assert (ranks["w"], ranks["b"]) == (98, 98)
+        assert (ranks["x"], ranks["e"]) == (95, 95)
+
+    def test_rank_algorithm_schedule(self):
+        s, _ = rank_schedule(figure1_bb1())
+        assert s.permutation() == ["e", "x", "b", "w", "r", "a"]
+        assert s.makespan == 7
+        assert s.idle_times() == [2]
+
+    def test_schedule_after_delaying_idle_slot(self):
+        s, _ = rank_schedule(figure1_bb1())
+        s2, d2 = delay_idle_slots(s, makespan_deadlines(s))
+        assert s2.permutation() == ["x", "e", "r", "b", "w", "a"]
+        assert s2.makespan == 7
+        assert s2.idle_times() == [5]
+        assert d2["x"] == 1  # "we set its deadline, d(x) = 1"
+
+
+class TestFigure2:
+    """Fig. 2: second basic block, merged ranks, completion 11 at W = 2."""
+
+    def test_merged_ranks(self):
+        t = figure2_trace(with_cross_edge=True)
+        ranks = compute_ranks(t.graph, {n: 100 for n in t.graph.nodes})
+        assert ranks == {
+            "g": 100, "v": 100, "a": 100, "r": 100,
+            "p": 98, "b": 98, "q": 97, "z": 95,
+            "w": 93, "e": 91, "x": 90,
+        }
+
+    def test_completion_11_without_cross_edge(self):
+        t = figure2_trace(with_cross_edge=False)
+        m = paper_machine(2)
+        res = algorithm_lookahead(t, m)
+        assert simulate_trace(t, res.block_orders, m).makespan == 11
+        assert res.block_orders == [
+            ["x", "e", "r", "b", "w", "a"],  # P1
+            ["z", "q", "p", "v", "g"],       # P2
+        ]
+
+    def test_completion_11_with_cross_edge(self):
+        t = figure2_trace(with_cross_edge=True)
+        m = paper_machine(2)
+        res = algorithm_lookahead(t, m)
+        assert res.predicted_makespan == 11
+        assert simulate_trace(t, res.block_orders, m).makespan == 11
+        # The cross edge flips w before b inside BB1's emitted order.
+        p1 = res.block_orders[0]
+        assert p1.index("w") < p1.index("b")
+
+
+class TestFigure3:
+    """Fig. 3: partial-products loop — 5 vs 7 and 6 vs 6."""
+
+    def test_schedule1_single_iteration_5(self):
+        loop = figure3_loop()
+        assert simulate_loop_order(loop, FIG3_SCHEDULE1, 1, paper_machine(1)).makespan == 5
+
+    def test_schedule1_steady_state_7(self):
+        loop = figure3_loop()
+        off = in_order_offsets(loop, FIG3_SCHEDULE1, paper_machine(1))
+        assert periodic_initiation_interval(loop, off, paper_machine(1)) == 7
+
+    def test_schedule2_single_iteration_6(self):
+        loop = figure3_loop()
+        assert simulate_loop_order(loop, FIG3_SCHEDULE2, 1, paper_machine(1)).makespan == 6
+
+    def test_schedule2_steady_state_6(self):
+        loop = figure3_loop()
+        off = in_order_offsets(loop, FIG3_SCHEDULE2, paper_machine(1))
+        assert periodic_initiation_interval(loop, off, paper_machine(1)) == 6
+
+    def test_section_5_2_discovers_schedule2(self):
+        res = schedule_single_block_loop(figure3_loop(), paper_machine(1))
+        assert tuple(res.order) == FIG3_SCHEDULE2
+
+
+class TestFigure8:
+    """Fig. 8: counter-example — S1 = 5n−1, S2 = 4n; dual transform wins."""
+
+    def test_s1_completion(self):
+        loop = figure8_loop()
+        for n in (2, 4, 7):
+            sim = simulate_loop_order(loop, FIG8_SCHEDULE_S1, n, paper_machine(1))
+            assert sim.makespan == 5 * n - 1
+
+    def test_s2_completion(self):
+        loop = figure8_loop()
+        for n in (2, 4, 7):
+            sim = simulate_loop_order(loop, FIG8_SCHEDULE_S2, n, paper_machine(1))
+            assert sim.makespan == 4 * n
+
+    def test_general_algorithm_picks_s2(self):
+        res = schedule_single_block_loop(figure8_loop(), paper_machine(1))
+        assert tuple(res.order) == FIG8_SCHEDULE_S2
+        assert res.best.kind == "sink"

@@ -1,0 +1,96 @@
+"""End-to-end pipeline tests: text → IR → scheduling → simulation."""
+
+import pytest
+
+from repro.analysis import verify_scheduler_output
+from repro.core import algorithm_lookahead, local_block_orders
+from repro.ir import parse_trace
+from repro.machine import MachineModel, RS6000_LIKE, paper_machine
+from repro.schedulers import modulo_schedule
+from repro.sim import (
+    simulate_loop_order,
+    simulate_trace,
+    simulated_initiation_interval,
+)
+from repro.workloads import (
+    branchy_trace,
+    dot_product_loop,
+    dot_product_trace,
+    reduction_trace,
+    saxpy_unrolled_trace,
+)
+
+
+class TestKernelTraces:
+    @pytest.mark.parametrize(
+        "factory", [dot_product_trace, branchy_trace, saxpy_unrolled_trace, reduction_trace]
+    )
+    @pytest.mark.parametrize("window", [1, 2, 4, 8])
+    def test_full_pipeline(self, factory, window):
+        trace = factory()
+        m = paper_machine(window)
+        res = algorithm_lookahead(trace, m)
+        verify_scheduler_output(trace, res.block_orders, m)
+        sim = simulate_trace(trace, res.block_orders, m)
+        # Completion can never beat the dependence-only critical path.
+        assert sim.makespan >= trace.graph.critical_path_length()
+
+    def test_anticipatory_beats_or_ties_local_on_kernels(self):
+        m = paper_machine(4)
+        for factory in (branchy_trace, saxpy_unrolled_trace):
+            trace = factory()
+            anticipatory = simulate_trace(
+                trace, algorithm_lookahead(trace, m).block_orders, m
+            ).makespan
+            local = simulate_trace(
+                trace, local_block_orders(trace, m, delay_idles=False), m
+            ).makespan
+            assert anticipatory <= local
+
+    def test_multi_unit_machine_end_to_end(self):
+        trace = reduction_trace()
+        res = algorithm_lookahead(trace, RS6000_LIKE)
+        sim = simulate_trace(trace, res.block_orders, RS6000_LIKE)
+        sim.schedule.validate()
+        single = simulate_trace(trace, res.block_orders, paper_machine(6))
+        assert sim.makespan <= single.makespan  # more units can't be slower
+
+
+class TestModuloPlusAnticipatory:
+    """E11's code path: software pipelining then anticipatory post-pass."""
+
+    def test_kernel_feeds_loop_scheduler(self):
+        from repro.core import schedule_single_block_loop
+
+        loop = dot_product_loop()
+        m = paper_machine(2)
+        kernel = modulo_schedule(loop, m)
+        res = schedule_single_block_loop(loop, m)
+        ours = simulated_initiation_interval(loop, res.order, m)
+        kernel_ii = simulated_initiation_interval(loop, kernel.kernel_order(), m)
+        # Anticipatory ordering should be competitive with the modulo
+        # kernel's linearized order when both are executed on the window HW.
+        assert ours <= kernel_ii + 1
+
+
+class TestParsedProgram:
+    def test_custom_program_roundtrip(self):
+        text = """
+        block top
+          a op=li  defs=r1 lat=1
+          b op=li  defs=r2 lat=1
+          c op=mul defs=r3 uses=r1,r2 lat=4
+        block bottom
+          d op=add defs=r4 uses=r3 lat=1
+          e op=st  uses=r4 stores=out lat=1
+        """
+        trace = parse_trace(text)
+        m = paper_machine(3)
+        res = algorithm_lookahead(trace, m)
+        verify_scheduler_output(trace, res.block_orders, m)
+        sim = simulate_trace(trace, res.block_orders, m)
+        # Both loads serialize on the single unit, so c starts at 3 (second
+        # load completes at 2, +1 latency), ends 4; +4 → d at 8, e at 10,
+        # makespan 11 — one above the resource-free critical path of 10.
+        assert sim.makespan == 11
+        assert trace.graph.critical_path_length() == 10

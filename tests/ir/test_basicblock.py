@@ -1,0 +1,108 @@
+"""Unit tests for BasicBlock, Trace and LoopTrace."""
+
+import pytest
+
+from repro.ir import (
+    LoopTrace,
+    Trace,
+    block_from_graph,
+    graph_from_edges,
+    instance_name,
+    single_block_trace,
+)
+
+
+def two_blocks():
+    g1 = graph_from_edges([("a", "b", 1)])
+    g2 = graph_from_edges([("c", "d", 0)])
+    return block_from_graph("B1", g1), block_from_graph("B2", g2)
+
+
+class TestTrace:
+    def test_basic_construction(self):
+        b1, b2 = two_blocks()
+        t = Trace([b1, b2], cross_edges=[("b", "c", 1)])
+        assert t.num_blocks == 2
+        assert len(t) == 4
+        assert t.block_index("a") == 0
+        assert t.block_index("d") == 1
+        assert t.graph.latency("b", "c") == 1
+        assert t.cross_edges == [("b", "c", 1)]
+
+    def test_program_order(self):
+        b1, b2 = two_blocks()
+        t = Trace([b1, b2])
+        assert t.program_order() == ["a", "b", "c", "d"]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Trace([])
+
+    def test_duplicate_node_across_blocks_rejected(self):
+        g1 = graph_from_edges([("a", "b", 1)])
+        g2 = graph_from_edges([("a", "d", 0)])
+        with pytest.raises(ValueError, match="more than one block"):
+            Trace([block_from_graph("B1", g1), block_from_graph("B2", g2)])
+
+    def test_backward_cross_edge_rejected(self):
+        b1, b2 = two_blocks()
+        with pytest.raises(ValueError, match="later block"):
+            Trace([b1, b2], cross_edges=[("c", "b", 1)])
+
+    def test_same_block_cross_edge_rejected(self):
+        b1, b2 = two_blocks()
+        with pytest.raises(ValueError, match="later block"):
+            Trace([b1, b2], cross_edges=[("a", "b", 1)])
+
+    def test_unknown_cross_edge_node(self):
+        b1, b2 = two_blocks()
+        with pytest.raises(KeyError):
+            Trace([b1, b2], cross_edges=[("a", "zzz", 1)])
+
+    def test_single_block_trace_helper(self):
+        g = graph_from_edges([("a", "b", 1)])
+        t = single_block_trace(g)
+        assert t.num_blocks == 1
+        assert t.block_nodes(0) == ["a", "b"]
+
+
+class TestBasicBlockValidation:
+    def test_instruction_names_must_match_graph(self):
+        from repro.ir import BasicBlock, Instruction
+
+        g = graph_from_edges([("a", "b", 1)])
+        with pytest.raises(ValueError, match="do not match"):
+            BasicBlock("B", g, [Instruction(name="a"), Instruction(name="zzz")])
+
+
+class TestLoopTrace:
+    def test_carried_edges_validated(self):
+        b1, b2 = two_blocks()
+        with pytest.raises(ValueError, match="distance"):
+            LoopTrace([b1, b2], carried_edges=[("d", "a", 1, 0)])
+        with pytest.raises(KeyError):
+            LoopTrace([b1, b2], carried_edges=[("zzz", "a", 1, 1)])
+
+    def test_unrolled_graph(self):
+        b1, b2 = two_blocks()
+        lt = LoopTrace(
+            [b1, b2],
+            cross_edges=[("b", "c", 1)],
+            carried_edges=[("d", "a", 2, 1)],
+        )
+        u = lt.unrolled_graph(3)
+        assert len(u) == 12
+        # Intra-iteration cross edge present in every instance.
+        assert u.latency(instance_name("b", 1), instance_name("c", 1)) == 1
+        # Carried edge wraps to the next iteration only.
+        assert u.latency(instance_name("d", 0), instance_name("a", 1)) == 2
+        assert (
+            instance_name("a", 0)
+            not in u.successors(instance_name("d", 2))
+        )
+
+    def test_unrolled_invalid_iterations(self):
+        b1, b2 = two_blocks()
+        lt = LoopTrace([b1, b2])
+        with pytest.raises(ValueError):
+            lt.unrolled_graph(0)

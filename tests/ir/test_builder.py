@@ -1,0 +1,142 @@
+"""Unit tests for the def-use dependence builder."""
+
+from repro.ir import Instruction, build_block, build_dependence_graph, build_trace
+
+
+def instr(name, reads=(), writes=(), loads=(), stores=(), lat=1, branch=False):
+    return Instruction(
+        name=name,
+        reads=tuple(reads),
+        writes=tuple(writes),
+        loads=tuple(loads),
+        stores=tuple(stores),
+        latency=lat,
+        is_branch=branch,
+    )
+
+
+class TestRegisterDependences:
+    def test_raw_uses_producer_latency(self):
+        g = build_dependence_graph(
+            [instr("a", writes=["r1"], lat=3), instr("b", reads=["r1"])]
+        )
+        assert g.latency("a", "b") == 3
+
+    def test_waw_zero_latency(self):
+        g = build_dependence_graph(
+            [instr("a", writes=["r1"], lat=3), instr("b", writes=["r1"])]
+        )
+        assert g.latency("a", "b") == 0
+
+    def test_war_zero_latency(self):
+        g = build_dependence_graph(
+            [instr("a", reads=["r1"]), instr("b", writes=["r1"])]
+        )
+        assert g.latency("a", "b") == 0
+
+    def test_independent_instructions(self):
+        g = build_dependence_graph(
+            [instr("a", writes=["r1"]), instr("b", writes=["r2"])]
+        )
+        assert g.num_edges() == 0
+
+    def test_transitive_chain(self):
+        g = build_dependence_graph(
+            [
+                instr("a", writes=["r1"], lat=2),
+                instr("b", reads=["r1"], writes=["r2"], lat=1),
+                instr("c", reads=["r2"]),
+            ]
+        )
+        assert g.latency("a", "b") == 2
+        assert g.latency("b", "c") == 1
+
+
+class TestMemoryDependences:
+    def test_store_load_same_location(self):
+        g = build_dependence_graph(
+            [instr("s", stores=["x"], lat=2), instr("l", loads=["x"])]
+        )
+        assert g.latency("s", "l") == 2
+
+    def test_store_load_different_locations(self):
+        g = build_dependence_graph(
+            [instr("s", stores=["x"]), instr("l", loads=["y"])]
+        )
+        assert g.num_edges() == 0
+
+    def test_wildcard_conflicts_with_everything(self):
+        g = build_dependence_graph(
+            [instr("s", stores=["*"]), instr("l", loads=["y"])]
+        )
+        assert g.num_edges() == 1
+
+    def test_load_store_war(self):
+        g = build_dependence_graph(
+            [instr("l", loads=["x"]), instr("s", stores=["x"], lat=3)]
+        )
+        assert g.latency("l", "s") == 0
+
+    def test_store_store_waw(self):
+        g = build_dependence_graph(
+            [instr("s1", stores=["x"]), instr("s2", stores=["x"])]
+        )
+        assert g.latency("s1", "s2") == 0
+
+    def test_load_load_no_conflict(self):
+        g = build_dependence_graph(
+            [instr("l1", loads=["x"]), instr("l2", loads=["x"])]
+        )
+        assert g.num_edges() == 0
+
+
+class TestControlDependences:
+    def test_branch_collects_all(self):
+        g = build_dependence_graph(
+            [instr("a"), instr("b"), instr("br", branch=True)]
+        )
+        assert g.latency("a", "br") == 0
+        assert g.latency("b", "br") == 0
+
+    def test_data_dep_to_branch_dominates_control(self):
+        g = build_dependence_graph(
+            [instr("cmp", writes=["cr0"], lat=1), instr("br", reads=["cr0"], branch=True)]
+        )
+        assert g.latency("cmp", "br") == 1
+
+
+class TestTraceBuilding:
+    def test_cross_block_raw(self):
+        t = build_trace(
+            [
+                ("B1", [instr("a", writes=["r1"], lat=2)]),
+                ("B2", [instr("b", reads=["r1"])]),
+            ]
+        )
+        assert t.graph.latency("a", "b") == 2
+        assert t.cross_edges == [("a", "b", 2)]
+
+    def test_branch_does_not_collect_cross_block_control(self):
+        t = build_trace(
+            [
+                ("B1", [instr("a", writes=["r9"])]),
+                ("B2", [instr("b"), instr("br", branch=True)]),
+            ]
+        )
+        # No register/memory overlap: 'a' must not be control-attached to
+        # the *next* block's branch.
+        assert t.graph.num_edges() == 1  # only b -> br inside B2
+
+    def test_cross_block_memory(self):
+        t = build_trace(
+            [
+                ("B1", [instr("s", stores=["m"], lat=1)]),
+                ("B2", [instr("l", loads=["m"])]),
+            ]
+        )
+        assert t.graph.latency("s", "l") == 1
+
+    def test_build_block_keeps_instructions(self):
+        bb = build_block("B", [instr("a"), instr("b")])
+        assert [i.name for i in bb.instructions] == ["a", "b"]
+        assert bb.node_names == ["a", "b"]

@@ -1,0 +1,76 @@
+"""Unit tests for the control-flow graph and trace selection."""
+
+import pytest
+
+from repro.ir import ControlFlowGraph, block_from_graph, graph_from_edges
+
+
+def make_cfg():
+    """Diamond CFG: entry -> {hot, cold} -> exit, with hot at p=0.8."""
+    cfg = ControlFlowGraph()
+    for name in ["entry", "hot", "cold", "exit"]:
+        g = graph_from_edges([], nodes=[f"{name}_i0", f"{name}_i1"])
+        cfg.add_block(block_from_graph(name, g), entry=(name == "entry"))
+    cfg.add_edge("entry", "hot", 0.8)
+    cfg.add_edge("entry", "cold", 0.2)
+    cfg.add_edge("hot", "exit", 1.0)
+    cfg.add_edge("cold", "exit", 1.0)
+    return cfg
+
+
+class TestConstruction:
+    def test_entry_defaults_to_first(self):
+        cfg = ControlFlowGraph()
+        g = graph_from_edges([], nodes=["a"])
+        cfg.add_block(block_from_graph("B", g))
+        assert cfg.entry == "B"
+
+    def test_duplicate_block_rejected(self):
+        cfg = make_cfg()
+        g = graph_from_edges([], nodes=["zz"])
+        with pytest.raises(ValueError, match="duplicate"):
+            cfg.add_block(block_from_graph("entry", g))
+
+    def test_bad_probability(self):
+        cfg = make_cfg()
+        with pytest.raises(ValueError, match="probability"):
+            cfg.add_edge("entry", "exit", 1.5)
+
+    def test_unknown_edge_endpoint(self):
+        cfg = make_cfg()
+        with pytest.raises(KeyError):
+            cfg.add_edge("entry", "nowhere")
+
+
+class TestTraceSelection:
+    def test_follows_most_probable_path(self):
+        cfg = make_cfg()
+        assert cfg.select_trace_blocks() == ["entry", "hot", "exit"]
+
+    def test_max_blocks(self):
+        cfg = make_cfg()
+        assert cfg.select_trace_blocks(max_blocks=2) == ["entry", "hot"]
+
+    def test_stops_on_revisit(self):
+        cfg = ControlFlowGraph()
+        for name in ["a", "b"]:
+            g = graph_from_edges([], nodes=[f"{name}0"])
+            cfg.add_block(block_from_graph(name, g))
+        cfg.add_edge("a", "b", 1.0)
+        cfg.add_edge("b", "a", 1.0)  # loop back
+        assert cfg.select_trace_blocks("a") == ["a", "b"]
+
+    def test_unknown_start(self):
+        with pytest.raises(KeyError):
+            make_cfg().select_trace_blocks("nope")
+
+    def test_build_trace_filters_cross_edges(self):
+        cfg = make_cfg()
+        trace = cfg.build_trace(
+            cross_edges=[
+                ("entry_i0", "hot_i0", 1),   # internal to the path: kept
+                ("entry_i0", "cold_i0", 1),  # leaves the path: dropped
+            ]
+        )
+        assert trace.num_blocks == 3
+        assert trace.cross_edges == [("entry_i0", "hot_i0", 1)]

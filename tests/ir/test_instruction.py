@@ -1,0 +1,76 @@
+"""Unit tests for the Instruction value type."""
+
+import pytest
+
+from repro.ir import ANY, FIXED, Instruction, make_instructions
+
+
+class TestConstruction:
+    def test_minimal(self):
+        i = Instruction(name="a")
+        assert i.name == "a"
+        assert i.exec_time == 1
+        assert i.latency == 1
+        assert i.fu_class == ANY
+        assert not i.is_branch
+
+    def test_full(self):
+        i = Instruction(
+            name="mul",
+            opcode="M",
+            reads=("gr6", "gr0"),
+            writes=("gr0",),
+            exec_time=2,
+            latency=4,
+            fu_class=FIXED,
+        )
+        assert i.reads == ("gr6", "gr0")
+        assert i.writes == ("gr0",)
+        assert i.exec_time == 2
+        assert i.latency == 4
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Instruction(name="")
+
+    def test_zero_exec_time_rejected(self):
+        with pytest.raises(ValueError, match="exec_time"):
+            Instruction(name="a", exec_time=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            Instruction(name="a", latency=-1)
+
+    def test_unknown_fu_class_rejected(self):
+        with pytest.raises(ValueError, match="fu_class"):
+            Instruction(name="a", fu_class="quantum")
+
+    def test_frozen(self):
+        i = Instruction(name="a")
+        with pytest.raises(AttributeError):
+            i.name = "b"  # type: ignore[misc]
+
+
+class TestHelpers:
+    def test_simple_constructor(self):
+        i = Instruction.simple("x", latency=0)
+        assert i.latency == 0
+        assert i.exec_time == 1
+
+    def test_with_name_copies_everything_else(self):
+        i = Instruction(name="a", opcode="add", reads=("r1",), latency=3)
+        j = i.with_name("a2")
+        assert j.name == "a2"
+        assert j.opcode == "add"
+        assert j.reads == ("r1",)
+        assert j.latency == 3
+
+    def test_touches_memory(self):
+        assert Instruction(name="l", loads=("x",)).touches_memory()
+        assert Instruction(name="s", stores=("y",)).touches_memory()
+        assert not Instruction(name="a").touches_memory()
+
+    def test_make_instructions(self):
+        instrs = make_instructions(["a", "b", "c"], latency=2)
+        assert [i.name for i in instrs] == ["a", "b", "c"]
+        assert all(i.latency == 2 for i in instrs)

@@ -1,0 +1,107 @@
+"""Unit tests for LoopGraph (⟨latency, distance⟩ loop bodies)."""
+
+import pytest
+
+from repro.ir import CycleError, LoopGraph, instance_name, loop_from_edges
+from repro.workloads import figure3_loop
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = loop_from_edges([("a", "b", 1, 0), ("b", "a", 2, 1)])
+        assert len(g) == 2
+        assert len(g.independent_edges()) == 1
+        assert len(g.carried_edges()) == 1
+
+    def test_duplicate_node_rejected(self):
+        g = LoopGraph()
+        g.add_node("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_node("a")
+
+    def test_self_loop_needs_distance(self):
+        g = LoopGraph()
+        g.add_node("a")
+        with pytest.raises(CycleError):
+            g.add_edge("a", "a", 1, 0)
+        g.add_edge("a", "a", 1, 1)  # carried self edge is fine
+
+    def test_independent_cycle_rejected(self):
+        g = loop_from_edges([("a", "b", 0, 0)])
+        with pytest.raises(CycleError):
+            g.add_edge("b", "a", 0, 0)
+
+    def test_negative_labels_rejected(self):
+        g = loop_from_edges([], nodes=["a", "b"])
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1, 0)
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", 0, -1)
+
+    def test_unknown_node_in_edge(self):
+        g = loop_from_edges([], nodes=["a"])
+        with pytest.raises(KeyError):
+            g.add_edge("a", "zzz", 0, 0)
+
+
+class TestQueries:
+    def test_carried_endpoints_exclude_self(self):
+        g = figure3_loop()
+        # Non-self carried edges: M->ST, C4->L4, M->L4.
+        assert g.carried_targets() == ["L4", "ST"]
+        assert g.carried_sources() == ["C4", "M"]
+
+    def test_loop_independent_subgraph(self):
+        g = figure3_loop()
+        gli = g.loop_independent_subgraph()
+        assert len(gli) == 5
+        assert gli.is_acyclic()
+        assert ("M", "ST") not in [(u, v) for u, v, _ in gli.edges()]
+
+
+class TestUnroll:
+    def test_unroll_sizes(self):
+        g = figure3_loop()
+        u3 = g.unroll(3)
+        assert len(u3) == 15
+        assert instance_name("M", 2) in u3
+
+    def test_unroll_carried_edges_instantiated(self):
+        g = loop_from_edges([("a", "b", 1, 0), ("b", "a", 3, 1)])
+        u = g.unroll(3)
+        # b[0] -> a[1], b[1] -> a[2]; not b[2] -> a[3].
+        assert u.latency(instance_name("b", 0), instance_name("a", 1)) == 3
+        assert u.latency(instance_name("b", 1), instance_name("a", 2)) == 3
+        assert instance_name("a", 3) not in u
+
+    def test_unroll_distance_two(self):
+        g = loop_from_edges([("a", "a", 2, 2)])
+        u = g.unroll(4)
+        assert u.latency(instance_name("a", 0), instance_name("a", 2)) == 2
+        assert u.latency(instance_name("a", 1), instance_name("a", 3)) == 2
+        assert u.num_edges() == 2
+
+    def test_unroll_invalid(self):
+        with pytest.raises(ValueError):
+            figure3_loop().unroll(0)
+
+
+class TestRecurrenceBound:
+    def test_figure3(self):
+        # Tightest cycle: M ->(4,1) ST ->(0,0) M gives (1+4+1+0)/1 = 6 —
+        # exactly why Schedule 2's steady state of 6 cycles is optimal.
+        assert figure3_loop().recurrence_bound() == 6
+
+    def test_no_cycles(self):
+        g = loop_from_edges([("a", "b", 1, 0), ("a", "c", 4, 1)])
+        assert g.recurrence_bound() == 1
+
+    def test_long_cycle(self):
+        # a -> b (lat 2) -> a carried (lat 3, dist 1): (1+2+1+3)/1 = 7.
+        g = loop_from_edges([("a", "b", 2, 0), ("b", "a", 3, 1)])
+        assert g.recurrence_bound() == 7
+
+    def test_distance_two_halves_bound(self):
+        g = loop_from_edges([("a", "b", 2, 0), ("b", "a", 3, 2)])
+        # Same cycle weight 7 but spanning 2 iterations: ceil(7/2) = 4.
+        assert g.recurrence_bound() == 4

@@ -1,0 +1,123 @@
+"""Unit tests for the textual program parser."""
+
+import pytest
+
+from repro.ir import ParseError, parse_program, parse_trace
+from repro.workloads.paper_examples import FIG3_TEXT
+
+
+class TestParseProgram:
+    def test_figure3_text(self):
+        blocks = parse_program(FIG3_TEXT)
+        assert len(blocks) == 1
+        name, instrs = blocks[0]
+        assert name == "CL.18"
+        assert [i.name for i in instrs] == ["L4", "ST", "C4", "M", "BT"]
+        m = next(i for i in instrs if i.name == "M")
+        assert m.latency == 4
+        assert m.reads == ("gr6", "gr0")
+        assert m.writes == ("gr0",)
+        bt = instrs[-1]
+        assert bt.is_branch
+
+    def test_comments_and_blanks(self):
+        text = """
+        # a comment
+        block B1
+
+          a op=add defs=r1  # trailing comment
+        """
+        blocks = parse_program(text)
+        assert blocks[0][1][0].opcode == "add"
+
+    def test_multiple_blocks(self):
+        text = """
+        block A
+          a1 defs=r1
+        block B
+          b1 uses=r1
+        """
+        blocks = parse_program(text)
+        assert [name for name, _ in blocks] == ["A", "B"]
+
+    def test_exec_time_and_fu(self):
+        text = """
+        block A
+          d op=div defs=r1 time=20 lat=2 fu=float
+        """
+        i = parse_program(text)[0][1][0]
+        assert i.exec_time == 20
+        assert i.latency == 2
+        assert i.fu_class == "float"
+
+
+class TestParseErrors:
+    def test_instruction_before_block(self):
+        with pytest.raises(ParseError, match="before any 'block'"):
+            parse_program("a defs=r1")
+
+    def test_duplicate_instruction(self):
+        with pytest.raises(ParseError, match="duplicate instruction"):
+            parse_program("block A\n a defs=r1\n a defs=r2")
+
+    def test_duplicate_block(self):
+        with pytest.raises(ParseError, match="duplicate block"):
+            parse_program("block A\n a defs=r1\nblock A\n b defs=r2")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ParseError, match="unknown attribute"):
+            parse_program("block A\n a wat=1")
+
+    def test_bad_integer(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_program("block A\n a lat=abc")
+
+    def test_missing_equals(self):
+        with pytest.raises(ParseError, match="key=value"):
+            parse_program("block A\n a defs")
+
+    def test_empty_program(self):
+        with pytest.raises(ParseError, match="empty program"):
+            parse_program("# nothing\n")
+
+    def test_empty_block(self):
+        with pytest.raises(ParseError, match="no instructions"):
+            parse_program("block A\nblock B\n b defs=r1")
+
+    def test_bad_fu_class(self):
+        with pytest.raises(ParseError, match="fu_class"):
+            parse_program("block A\n a fu=warp")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_program("block A\n a defs=r1\n b lat=x")
+        except ParseError as exc:
+            assert exc.lineno == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+
+class TestParseTrace:
+    def test_figure3_dependences_match_manual_graph(self):
+        """The parsed Figure 3 text must derive the same loop-independent
+        dependences as the hand-written edge list."""
+        t = parse_trace(FIG3_TEXT)
+        g = t.graph
+        assert g.latency("L4", "C4") == 1   # gr6 RAW
+        assert g.latency("L4", "M") == 1    # gr6 RAW
+        assert g.latency("ST", "M") == 0    # gr0 WAR
+        assert g.latency("C4", "BT") == 1   # cr1 RAW
+        assert g.latency("M", "BT") == 0    # control
+        assert g.latency("L4", "BT") == 0   # control
+        assert g.latency("ST", "BT") == 0   # control
+
+    def test_cross_block_edges_derived(self):
+        t = parse_trace(
+            """
+            block A
+              a op=add defs=r1 lat=2
+            block B
+              b op=add uses=r1
+            """
+        )
+        assert t.cross_edges == [("a", "b", 2)]

@@ -1,0 +1,130 @@
+"""Unit tests for register renaming and linear-scan allocation."""
+
+import pytest
+
+from repro.ir import Instruction, build_dependence_graph
+from repro.ir.regalloc import (
+    AllocationError,
+    allocate_registers,
+    live_intervals,
+    minimum_registers,
+    rename_registers,
+)
+
+
+def instr(name, reads=(), writes=(), lat=1):
+    return Instruction(
+        name=name, reads=tuple(reads), writes=tuple(writes), latency=lat
+    )
+
+
+SEQ = [
+    instr("a", writes=["r1"]),
+    instr("b", writes=["r1"]),  # WAW with a
+    instr("c", reads=["r1"], writes=["r2"]),
+    instr("d", writes=["r1"]),  # WAR with c
+]
+
+
+class TestRenaming:
+    def test_removes_waw_and_war(self):
+        renamed = rename_registers(SEQ)
+        g = build_dependence_graph(renamed)
+        # Only the true dependence b -> c survives.
+        assert g.num_edges() == 1
+        assert g.latency("b", "c") == 1
+
+    def test_uses_read_reaching_definition(self):
+        renamed = rename_registers(SEQ)
+        assert renamed[2].reads == (renamed[1].writes[0],)
+
+    def test_live_in_registers_keep_names(self):
+        seq = [instr("u", reads=["rx"], writes=["r1"])]
+        renamed = rename_registers(seq)
+        assert renamed[0].reads == ("rx",)
+        assert renamed[0].writes != ("r1",)
+
+    def test_non_register_fields_preserved(self):
+        seq = [
+            Instruction(
+                name="s", reads=("r1",), stores=("m",), latency=3,
+                fu_class="memory",
+            )
+        ]
+        out = rename_registers(seq)[0]
+        assert out.stores == ("m",) and out.latency == 3
+        assert out.fu_class == "memory"
+
+
+class TestLiveIntervals:
+    def test_basic_ranges(self):
+        seq = rename_registers(SEQ)
+        order = [i.name for i in seq]
+        ivs = {iv.register: iv for iv in live_intervals(seq, order)}
+        v1 = seq[1].writes[0]
+        assert ivs[v1].start == 1 and ivs[v1].end == 2
+
+    def test_live_in_starts_at_minus_one(self):
+        seq = [instr("u", reads=["rx"])]
+        ivs = live_intervals(seq, ["u"])
+        assert ivs[0].start == -1
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError, match="permutation"):
+            live_intervals(SEQ, ["a", "b"])
+
+
+class TestAllocation:
+    def test_minimum_registers(self):
+        seq = rename_registers(SEQ)
+        order = [i.name for i in seq]
+        k = minimum_registers(seq, order)
+        assert k == 2  # b's value overlaps c's def
+
+    def test_allocation_succeeds_at_minimum(self):
+        seq = rename_registers(SEQ)
+        order = [i.name for i in seq]
+        k = minimum_registers(seq, order)
+        allocated = allocate_registers(seq, order, k)
+        pregs = {r for i in allocated for r in i.reads + i.writes}
+        assert len(pregs) <= k
+        assert all(r.startswith("p") for r in pregs)
+
+    def test_allocation_fails_below_minimum(self):
+        seq = rename_registers(SEQ)
+        order = [i.name for i in seq]
+        k = minimum_registers(seq, order)
+        with pytest.raises(AllocationError):
+            allocate_registers(seq, order, k - 1)
+
+    def test_tight_allocation_reintroduces_false_deps(self):
+        """The phase-ordering effect: K = minimum forces register reuse,
+        whose WAR/WAW edges reappear in the rebuilt dependence graph."""
+        seq = rename_registers(
+            [
+                instr("a", writes=["x"], lat=4),
+                instr("b", reads=["x"], writes=["y"]),
+                instr("c", writes=["z"]),
+                instr("d", reads=["z"]),
+            ]
+        )
+        order = ["a", "b", "c", "d"]
+        free_graph = build_dependence_graph(seq)
+        tight = allocate_registers(seq, order, minimum_registers(seq, order))
+        tight_graph = build_dependence_graph(tight)
+        assert tight_graph.num_edges() >= free_graph.num_edges()
+
+    def test_semantics_preserved_with_plenty_of_registers(self):
+        seq = rename_registers(SEQ)
+        order = [i.name for i in seq]
+        allocated = allocate_registers(seq, order, 16)
+        g0 = build_dependence_graph(seq)
+        g1 = build_dependence_graph(allocated)
+        # With abundant registers no sharing happens: identical edges.
+        assert sorted((u, v, l) for u, v, l in g0.edges()) == sorted(
+            (u, v, l) for u, v, l in g1.edges()
+        )
+
+    def test_invalid_register_count(self):
+        with pytest.raises(ValueError):
+            allocate_registers(SEQ, [i.name for i in SEQ], 0)

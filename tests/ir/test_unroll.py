@@ -1,0 +1,91 @@
+"""Unit tests for loop unrolling."""
+
+import pytest
+
+from repro.ir import loop_from_edges, reroll_orders, unroll_loop, unrolled_name
+from repro.workloads import figure3_loop, figure8_loop
+
+
+class TestStructure:
+    def test_block_count_and_sizes(self):
+        lt = unroll_loop(figure3_loop(), 3)
+        assert lt.num_blocks == 3
+        assert all(len(lt.block_nodes(i)) == 5 for i in range(3))
+
+    def test_distance_zero_stays_intra_block(self):
+        lt = unroll_loop(figure3_loop(), 2)
+        g0 = lt.blocks[0].graph
+        assert g0.latency(unrolled_name("L4", 0), unrolled_name("C4", 0)) == 1
+
+    def test_distance_one_becomes_cross_edge(self):
+        lt = unroll_loop(figure3_loop(), 2)
+        # M@0 -> ST@1 with latency 4 crosses the copies.
+        assert (
+            unrolled_name("M", 0),
+            unrolled_name("ST", 1),
+            4,
+        ) in lt.cross_edges
+
+    def test_wraparound_becomes_carried(self):
+        lt = unroll_loop(figure3_loop(), 2)
+        carried = {
+            (e.src, e.dst): (e.latency, e.distance) for e in lt.carried_edges
+        }
+        # M@1 (last copy) feeds ST@0 of the *next unrolled iteration*.
+        assert carried[(unrolled_name("M", 1), unrolled_name("ST", 0))] == (4, 1)
+
+    def test_distance_beyond_factor(self):
+        loop = loop_from_edges([("a", "a", 2, 3)])
+        lt = unroll_loop(loop, 2)
+        carried = {
+            (e.src, e.dst): e.distance for e in lt.carried_edges
+        }
+        # a@0 + 3 -> copy 3 = iteration 1, copy 1; a@1 + 3 -> iteration 2, copy 0.
+        assert carried[(unrolled_name("a", 0), unrolled_name("a", 1))] == 1
+        assert carried[(unrolled_name("a", 1), unrolled_name("a", 0))] == 2
+
+    def test_factor_one_is_identity_shape(self):
+        loop = figure8_loop()
+        lt = unroll_loop(loop, 1)
+        assert lt.num_blocks == 1
+        assert len(lt.carried_edges) == len(loop.carried_edges())
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            unroll_loop(figure8_loop(), 0)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("factor", [1, 2, 3])
+    def test_unrolled_equals_rolled_unrolling(self, factor):
+        """k iterations of the unrolled loop must execute exactly like
+        k*factor iterations of the original loop (same stream, same graph
+        modulo names)."""
+        from repro.machine import paper_machine
+        from repro.sim import simulate_loop_order
+        from repro.sim.loop_runner import simulate_loop_trace_orders
+        from repro.workloads import FIG3_SCHEDULE1
+
+        loop = figure3_loop()
+        lt = unroll_loop(loop, factor)
+        m = paper_machine(2)
+        k = 3
+        orders = [
+            [unrolled_name(n, c) for n in FIG3_SCHEDULE1]
+            for c in range(factor)
+        ]
+        unrolled_sim = simulate_loop_trace_orders(lt, orders, k, m)
+        rolled_sim = simulate_loop_order(loop, FIG3_SCHEDULE1, k * factor, m)
+        assert unrolled_sim.makespan == rolled_sim.makespan
+
+    def test_reroll_orders(self):
+        loop = figure3_loop()
+        lt = unroll_loop(loop, 2)
+        orders = [list(lt.block_nodes(0)), list(lt.block_nodes(1))]
+        rerolled = reroll_orders(loop, orders)
+        assert all(sorted(o) == sorted(loop.nodes) for o in rerolled)
+
+    def test_reroll_rejects_foreign_names(self):
+        loop = figure3_loop()
+        with pytest.raises(ValueError, match="unrolled instance"):
+            reroll_orders(loop, [["bogus@0"]])

@@ -1,0 +1,94 @@
+"""Unit tests for the local baseline schedulers."""
+
+import pytest
+
+from repro.ir import ANY, graph_from_edges
+from repro.machine import MachineModel, paper_machine
+from repro.schedulers import (
+    block_orders_with_priority,
+    critical_path_priority,
+    fan_out_priority,
+    gibbons_muchnick_schedule,
+    schedule_with_priority,
+    source_order_priority,
+    warren_priority,
+    warren_schedule,
+)
+from repro.workloads import figure1_bb1, random_dag, random_trace, reduction_trace
+
+
+class TestPriorities:
+    def test_source_order(self):
+        g = figure1_bb1()
+        assert source_order_priority(g) == ["e", "x", "b", "w", "a", "r"]
+
+    def test_critical_path_prefers_deep_nodes(self):
+        g = graph_from_edges([("a", "b", 1), ("b", "c", 1)], nodes=["z", "a", "b", "c"])
+        pr = critical_path_priority(g)
+        assert pr.index("a") < pr.index("z")
+
+    def test_fan_out_breaks_ties_by_descendants(self):
+        g = graph_from_edges(
+            [("a", "s1", 0), ("a", "s2", 0), ("b", "s3", 0)],
+        )
+        pr = fan_out_priority(g)
+        assert pr.index("a") < pr.index("b")
+
+    def test_warren_priority_starts_long_latency_early(self):
+        g = graph_from_edges(
+            [("mul", "use1", 4), ("add", "use2", 4)],
+            nodes=["add", "mul", "use1", "use2"],
+        )
+        # Same path lengths; warren breaks ties by own latency then order.
+        pr = warren_priority(g)
+        assert pr.index("mul") < pr.index("use1")
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_baselines_produce_valid_schedules(self, seed):
+        g = random_dag(
+            20, edge_probability=0.2, latencies=(0, 1, 2),
+            exec_times=(1, 2), seed=seed,
+        )
+        m = paper_machine(4)
+        for fn in (source_order_priority, critical_path_priority, fan_out_priority):
+            schedule_with_priority(g, fn, m).validate()
+        gibbons_muchnick_schedule(g, m).validate()
+        warren_schedule(g, m).validate()
+
+    def test_critical_path_beats_source_order_on_adversarial_block(self):
+        """Program order that buries the critical path: CP scheduling wins."""
+        g = graph_from_edges(
+            [("c1", "c2", 2), ("c2", "c3", 2)],
+            nodes=["f1", "f2", "f3", "c1", "c2", "c3"],
+        )
+        m = paper_machine(1)
+        src = schedule_with_priority(g, source_order_priority, m).makespan
+        cp = schedule_with_priority(g, critical_path_priority, m).makespan
+        assert cp < src
+
+    def test_gibbons_muchnick_pays_latency_early(self):
+        g = graph_from_edges(
+            [("ld", "use", 2)], nodes=["ld", "o1", "o2", "use"]
+        )
+        s = gibbons_muchnick_schedule(g, paper_machine(1))
+        assert s.start("ld") == 0
+        assert s.makespan == 4  # ld o1 o2 use with latency hidden
+
+    def test_block_orders_with_priority(self):
+        t = random_trace(3, 4, seed=2)
+        orders = block_orders_with_priority(t, critical_path_priority, paper_machine(2))
+        assert len(orders) == 3
+        for i, o in enumerate(orders):
+            assert sorted(o) == sorted(t.block_nodes(i))
+
+    def test_warren_on_typed_machine(self):
+        t = reduction_trace()
+        from repro.machine import RS6000_LIKE
+
+        s = warren_schedule(t.graph, RS6000_LIKE)
+        s.validate()
+        # loads on the memory unit, adds on fixed: overlap must happen.
+        busy_classes = {u[0] for u in s.busy_units()}
+        assert {"memory", "fixed"} <= busy_classes

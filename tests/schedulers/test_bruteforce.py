@@ -1,0 +1,96 @@
+"""Unit tests for the brute-force oracle itself (known-by-hand optima)."""
+
+import pytest
+
+from repro.ir import ANY, graph_from_edges
+from repro.machine import MachineModel, paper_machine
+from repro.schedulers import (
+    best_stream_order,
+    is_feasible_instance,
+    optimal_makespan,
+    optimal_schedule,
+)
+
+
+class TestKnownOptima:
+    def test_independent_nodes(self):
+        g = graph_from_edges([], nodes=["a", "b", "c"])
+        assert optimal_makespan(g) == 3
+
+    def test_chain_with_latency(self):
+        g = graph_from_edges([("a", "b", 2)])
+        assert optimal_makespan(g) == 4
+
+    def test_latency_hidden_by_filler(self):
+        g = graph_from_edges([("a", "b", 2)], nodes=["a", "b", "f1", "f2"])
+        assert optimal_makespan(g) == 4  # a f1 f2 b
+
+    def test_figure1_is_7(self):
+        from repro.workloads import figure1_bb1
+
+        assert optimal_makespan(figure1_bb1()) == 7
+
+    def test_two_units(self):
+        g = graph_from_edges([], nodes=["a", "b", "c", "d"])
+        m = MachineModel(window_size=1, fu_counts={ANY: 2})
+        assert optimal_makespan(g, m) == 2
+
+    def test_typed_units(self):
+        g = graph_from_edges(
+            [],
+            nodes=["m1", "m2", "f1"],
+            fu_classes={"m1": "memory", "m2": "memory", "f1": "fixed"},
+        )
+        m = MachineModel(window_size=1, fu_counts={"memory": 1, "fixed": 1})
+        assert optimal_makespan(g, m) == 2
+
+    def test_non_unit_exec(self):
+        g = graph_from_edges([("a", "b", 0)], exec_times={"a": 3})
+        assert optimal_makespan(g) == 4
+
+    def test_waiting_can_beat_greedy(self):
+        """Instance where issuing a ready filler first is optimal but a
+        naive wrong greedy could stall; brute force must find 4."""
+        g = graph_from_edges(
+            [("a", "b", 1), ("b", "c", 0)], nodes=["f", "a", "b", "c"]
+        )
+        assert optimal_makespan(g) == 4  # a f b c
+
+    def test_empty_graph(self):
+        from repro.ir import DependenceGraph
+
+        assert optimal_makespan(DependenceGraph()) == 0
+
+    def test_size_cap(self):
+        from repro.workloads import random_dag
+
+        with pytest.raises(ValueError, match="16"):
+            optimal_schedule(random_dag(20, seed=0))
+
+
+class TestDeadlineOracle:
+    def test_feasible(self):
+        g = graph_from_edges([("a", "b", 1)])
+        assert is_feasible_instance(g, {"a": 1, "b": 3})
+
+    def test_infeasible(self):
+        g = graph_from_edges([("a", "b", 1)])
+        assert not is_feasible_instance(g, {"b": 2})
+
+    def test_deadline_forces_different_order(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        s = optimal_schedule(g, deadlines={"b": 1})
+        assert s is not None and s.start("b") == 0
+
+
+class TestBestStreamOrder:
+    def test_exhaustive_on_figure2(self):
+        from repro.machine import paper_machine
+        from repro.workloads import figure2_trace
+
+        t = figure2_trace(with_cross_edge=True)
+        order, span = best_stream_order(
+            t.graph, [t.block_nodes(0), t.block_nodes(1)], paper_machine(2)
+        )
+        assert span == 11  # the paper's (and our algorithm's) completion
+        assert len(order) == 11

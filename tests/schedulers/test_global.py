@@ -1,0 +1,63 @@
+"""Unit tests for the global-scheduling comparators."""
+
+import pytest
+
+from repro.core import algorithm_lookahead
+from repro.machine import paper_machine
+from repro.schedulers import global_upper_bound, speculative_trace
+from repro.sim import simulate_trace
+from repro.workloads import figure2_trace, random_trace
+
+
+class TestGlobalUpperBound:
+    def test_figure2(self):
+        t = figure2_trace(with_cross_edge=True)
+        s = global_upper_bound(t, paper_machine(2))
+        s.validate()
+        assert s.makespan == 11  # anticipatory matches global here
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bound_never_above_simulated_anticipatory(self, seed):
+        t = random_trace(3, (3, 6), cross_probability=0.1, seed=seed)
+        m = paper_machine(2)
+        bound = global_upper_bound(t, m).makespan
+        res = algorithm_lookahead(t, m)
+        sim = simulate_trace(t, res.block_orders, m)
+        assert bound <= sim.makespan
+
+
+class TestSpeculativeTrace:
+    def test_hoists_independent_instruction(self):
+        from repro.ir import Trace, block_from_graph, graph_from_edges
+
+        g1 = graph_from_edges([("a", "b", 1)])
+        g2 = graph_from_edges([], nodes=["c", "d"])
+        t = Trace(
+            [block_from_graph("B1", g1), block_from_graph("B2", g2)],
+            cross_edges=[("a", "c", 1)],
+        )
+        spec = speculative_trace(t, paper_machine(2))
+        # d has no predecessors at all: hoisted into block 1.  c depends
+        # only on block-1 instructions: also hoistable.
+        assert spec.block_index("d") == 0
+        assert spec.block_index("c") == 0
+
+    def test_max_hoist_limits_motion(self):
+        from repro.ir import Trace, block_from_graph, graph_from_edges
+
+        g1 = graph_from_edges([], nodes=["a"])
+        g2 = graph_from_edges([], nodes=["c", "d", "e"])
+        t = Trace([block_from_graph("B1", g1), block_from_graph("B2", g2)])
+        spec = speculative_trace(t, paper_machine(2), max_hoist=1)
+        moved = sum(1 for n in ["c", "d", "e"] if spec.block_index(n) == 0)
+        assert moved == 1
+
+    def test_speculative_not_slower_when_simulated(self):
+        t = figure2_trace(with_cross_edge=True)
+        m = paper_machine(2)
+        spec = speculative_trace(t, m)
+        base_orders = [list(t.block_nodes(i)) for i in range(t.num_blocks)]
+        spec_orders = [list(spec.block_nodes(i)) for i in range(spec.num_blocks)]
+        base = simulate_trace(t, base_orders, m).makespan
+        after = simulate_trace(spec, spec_orders, m).makespan
+        assert after <= base + 1  # hoisting should not hurt materially

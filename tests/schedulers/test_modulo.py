@@ -1,0 +1,86 @@
+"""Unit tests for the iterative modulo scheduler."""
+
+import pytest
+
+from repro.ir import loop_from_edges
+from repro.machine import MachineModel, paper_machine
+from repro.schedulers import modulo_schedule, recurrence_mii, resource_mii
+from repro.sim import periodic_initiation_interval
+from repro.workloads import dot_product_loop, figure3_loop, random_loop
+
+
+def check_kernel(loop, result, machine):
+    """A modulo kernel is valid iff every edge inequality holds and the
+    periodic repetition is resource-feasible at its II."""
+    for e in loop.edges():
+        need = (
+            result.offsets[e.src]
+            + loop.exec_time(e.src)
+            + e.latency
+            - result.initiation_interval * e.distance
+        )
+        assert result.offsets[e.dst] >= need, f"edge {e} violated"
+    ii = periodic_initiation_interval(loop, result.offsets, machine)
+    assert ii <= result.initiation_interval
+
+
+class TestBounds:
+    def test_resource_mii_single_unit(self):
+        loop = figure3_loop()
+        assert resource_mii(loop, paper_machine(1)) == 5  # 5 unit-time ops
+
+    def test_recurrence_mii_figure3(self):
+        assert recurrence_mii(figure3_loop()) == 6
+
+    def test_resource_mii_multi_unit(self):
+        loop = loop_from_edges(
+            [("a", "b", 0, 0)], nodes=["a", "b", "c", "d"]
+        )
+        m = MachineModel(window_size=1, fu_counts={"any": 2})
+        assert resource_mii(loop, m) == 2
+
+
+class TestFigure3:
+    def test_achieves_optimal_ii_6(self):
+        loop = figure3_loop()
+        m = paper_machine(1)
+        res = modulo_schedule(loop, m)
+        assert res.initiation_interval == 6
+        check_kernel(loop, res, m)
+
+    def test_kernel_order_is_permutation(self):
+        res = modulo_schedule(figure3_loop(), paper_machine(1))
+        assert sorted(res.kernel_order()) == ["BT", "C4", "L4", "M", "ST"]
+
+
+class TestRandomLoops:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_kernels(self, seed):
+        loop = random_loop(6, seed=seed)
+        m = paper_machine(1)
+        res = modulo_schedule(loop, m)
+        check_kernel(loop, res, m)
+        assert res.initiation_interval >= max(
+            resource_mii(loop, m), recurrence_mii(loop)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_multi_unit_kernels(self, seed):
+        loop = random_loop(8, seed=100 + seed)
+        m = MachineModel(window_size=1, fu_counts={"any": 2})
+        res = modulo_schedule(loop, m)
+        check_kernel(loop, res, m)
+
+    def test_offsets_normalized(self):
+        res = modulo_schedule(dot_product_loop(), paper_machine(1))
+        assert min(res.offsets.values()) == 0
+
+
+class TestDotProduct:
+    def test_ii_bounded_by_recurrence(self):
+        loop = dot_product_loop()
+        m = paper_machine(1)
+        res = modulo_schedule(loop, m)
+        # 8 unit-time ops on one unit: resource MII = 8 dominates.
+        assert res.initiation_interval >= 8
+        check_kernel(loop, res, m)

@@ -1,0 +1,60 @@
+"""Unit tests for the branch-prediction study harness."""
+
+import pytest
+
+from repro.core import algorithm_lookahead
+from repro.machine import paper_machine
+from repro.sim import BranchModel, run_with_prediction
+from repro.workloads import figure2_trace, random_trace
+
+
+class TestBranchModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchModel(accuracy=1.5)
+        with pytest.raises(ValueError):
+            BranchModel(penalty=-1)
+
+    def test_defaults(self):
+        m = BranchModel()
+        assert 0 <= m.accuracy <= 1 and m.penalty >= 0
+
+
+class TestPredictionStudy:
+    def test_bounds_ordering(self):
+        t = figure2_trace()
+        m = paper_machine(2)
+        orders = algorithm_lookahead(t, m).block_orders
+        study = run_with_prediction(t, orders, BranchModel(0.5, 2), m, trials=16)
+        assert study.best_makespan <= study.mean_makespan <= study.worst_makespan
+        assert len(study.samples) == 16
+
+    def test_perfect_prediction_equals_best(self):
+        t = figure2_trace()
+        m = paper_machine(2)
+        orders = algorithm_lookahead(t, m).block_orders
+        study = run_with_prediction(t, orders, BranchModel(1.0, 2), m, trials=4)
+        assert study.mean_makespan == study.best_makespan
+
+    def test_zero_accuracy_equals_worst(self):
+        t = figure2_trace()
+        m = paper_machine(2)
+        orders = algorithm_lookahead(t, m).block_orders
+        study = run_with_prediction(t, orders, BranchModel(0.0, 2), m, trials=4)
+        assert study.mean_makespan == study.worst_makespan
+
+    def test_deterministic_with_seed(self):
+        t = random_trace(4, 4, cross_probability=0.1, seed=1)
+        m = paper_machine(3)
+        orders = [list(t.block_nodes(i)) for i in range(t.num_blocks)]
+        s1 = run_with_prediction(t, orders, BranchModel(0.7, 2), m, trials=8, seed=42)
+        s2 = run_with_prediction(t, orders, BranchModel(0.7, 2), m, trials=8, seed=42)
+        assert s1.samples == s2.samples
+
+    def test_worse_accuracy_not_faster(self):
+        t = random_trace(5, 5, cross_probability=0.1, seed=3)
+        m = paper_machine(4)
+        orders = [list(t.block_nodes(i)) for i in range(t.num_blocks)]
+        hi = run_with_prediction(t, orders, BranchModel(0.95, 3), m, trials=24, seed=0)
+        lo = run_with_prediction(t, orders, BranchModel(0.3, 3), m, trials=24, seed=0)
+        assert lo.mean_makespan >= hi.mean_makespan

@@ -1,0 +1,96 @@
+"""Unit tests for whole-CFG expected-completion evaluation."""
+
+import pytest
+
+from repro.ir import ControlFlowGraph, block_from_graph, graph_from_edges
+from repro.machine import paper_machine
+from repro.sim import enumerate_paths, evaluate_cfg
+
+
+def diamond_cfg(hot_probability=0.8):
+    cfg = ControlFlowGraph()
+    blocks = {
+        "entry": graph_from_edges([("e1", "e2", 2)]),
+        "hot": graph_from_edges([("h1", "h2", 1)]),
+        "cold": graph_from_edges([], nodes=["c1", "c2"]),
+        "exit": graph_from_edges([("x1", "x2", 0)]),
+    }
+    for name, g in blocks.items():
+        cfg.add_block(block_from_graph(name, g), entry=(name == "entry"))
+    cfg.add_edge("entry", "hot", hot_probability)
+    cfg.add_edge("entry", "cold", 1 - hot_probability)
+    cfg.add_edge("hot", "exit", 1.0)
+    cfg.add_edge("cold", "exit", 1.0)
+    return cfg
+
+
+ORDERS = {
+    "entry": ["e1", "e2"],
+    "hot": ["h1", "h2"],
+    "cold": ["c1", "c2"],
+    "exit": ["x1", "x2"],
+}
+
+
+class TestEnumeratePaths:
+    def test_diamond_paths(self):
+        paths = enumerate_paths(diamond_cfg())
+        as_tuples = {tuple(p): prob for p, prob in paths}
+        assert as_tuples[("entry", "hot", "exit")] == pytest.approx(0.8)
+        assert as_tuples[("entry", "cold", "exit")] == pytest.approx(0.2)
+
+    def test_probabilities_sum_to_one(self):
+        paths = enumerate_paths(diamond_cfg())
+        assert sum(p for _, p in paths) == pytest.approx(1.0)
+
+    def test_max_depth_truncates(self):
+        paths = enumerate_paths(diamond_cfg(), max_depth=2)
+        assert all(len(p) <= 2 for p, _ in paths)
+
+
+class TestEvaluateCfg:
+    def test_expected_between_extremes(self):
+        cfg = diamond_cfg()
+        m = paper_machine(3)
+        ev = evaluate_cfg(cfg, ORDERS, ["entry", "hot", "exit"], machine=m)
+        spans = {p.blocks: p.makespan for p in ev.paths}
+        lo, hi = min(spans.values()), max(spans.values())
+        assert lo <= ev.expected_makespan <= hi
+        assert ev.coverage == pytest.approx(1.0)
+
+    def test_off_trace_path_pays_flush(self):
+        cfg = diamond_cfg()
+        m = paper_machine(3)
+        ev = evaluate_cfg(
+            cfg, ORDERS, ["entry", "hot", "exit"], machine=m,
+            misprediction_penalty=5,
+        )
+        spans = {p.blocks: p.makespan for p in ev.paths}
+        # The cold path leaves the trace at entry->cold: flush there.
+        assert spans[("entry", "cold", "exit")] > spans[("entry", "hot", "exit")]
+
+    def test_hot_bias_lowers_expectation(self):
+        m = paper_machine(3)
+        ev_hot = evaluate_cfg(
+            diamond_cfg(0.95), ORDERS, ["entry", "hot", "exit"], machine=m,
+            misprediction_penalty=5,
+        )
+        ev_cold = evaluate_cfg(
+            diamond_cfg(0.5), ORDERS, ["entry", "hot", "exit"], machine=m,
+            misprediction_penalty=5,
+        )
+        assert ev_hot.expected_makespan < ev_cold.expected_makespan
+
+    def test_off_trace_blocks_use_static_prediction(self):
+        """Blocks not on the scheduled trace predict their most probable
+        successor — the cold block's jump to exit is still predicted."""
+        cfg = diamond_cfg()
+        m = paper_machine(3)
+        ev = evaluate_cfg(
+            cfg, ORDERS, ["entry", "hot", "exit"], machine=m,
+            misprediction_penalty=5,
+        )
+        cold = next(p for p in ev.paths if "cold" in p.blocks)
+        # Only one flush (entry->cold), not two.
+        on_trace = next(p for p in ev.paths if "hot" in p.blocks)
+        assert cold.makespan <= on_trace.makespan + 5 + 4

@@ -1,0 +1,119 @@
+"""Unit tests for loop execution and steady-state analysis — pinned to the
+paper's Figure 3 and Figure 8 numbers."""
+
+import pytest
+
+from repro.ir import loop_from_edges
+from repro.machine import MachineModel, paper_machine
+from repro.sim import (
+    in_order_offsets,
+    iteration_completions,
+    loop_stream,
+    periodic_initiation_interval,
+    simulate_loop_order,
+    simulated_initiation_interval,
+)
+from repro.workloads import (
+    FIG3_SCHEDULE1,
+    FIG3_SCHEDULE2,
+    FIG8_SCHEDULE_S1,
+    FIG8_SCHEDULE_S2,
+    figure3_loop,
+    figure8_loop,
+)
+
+
+class TestFigure3SteadyState:
+    def test_schedule1_periodic_ii_7(self):
+        """Paper: Schedule 1 "executes one iteration every 7 cycles"."""
+        loop = figure3_loop()
+        off = in_order_offsets(loop, FIG3_SCHEDULE1, paper_machine(1))
+        assert periodic_initiation_interval(loop, off, paper_machine(1)) == 7
+
+    def test_schedule2_periodic_ii_6(self):
+        """Paper: Schedule 2 "executes one iteration every 6 cycles"."""
+        loop = figure3_loop()
+        off = in_order_offsets(loop, FIG3_SCHEDULE2, paper_machine(1))
+        assert periodic_initiation_interval(loop, off, paper_machine(1)) == 6
+
+    def test_single_iteration_makespans(self):
+        """Paper: Schedule 1 completes one iteration in 5 cycles, Schedule 2
+        in 6 cycles."""
+        loop = figure3_loop()
+        m = paper_machine(1)
+        assert simulate_loop_order(loop, FIG3_SCHEDULE1, 1, m).makespan == 5
+        assert simulate_loop_order(loop, FIG3_SCHEDULE2, 1, m).makespan == 6
+
+    def test_simulated_ii_matches_periodic_in_order(self):
+        loop = figure3_loop()
+        m = paper_machine(1)
+        assert simulated_initiation_interval(loop, FIG3_SCHEDULE1, m) == 7
+        assert simulated_initiation_interval(loop, FIG3_SCHEDULE2, m) == 6
+
+    def test_lookahead_narrows_the_gap(self):
+        """With a hardware window the block-optimal Schedule 1 recovers: the
+        window pulls next-iteration instructions into the trailing idle
+        slots, cutting its steady state below the in-order 7."""
+        loop = figure3_loop()
+        ii_w1 = simulated_initiation_interval(loop, FIG3_SCHEDULE1, paper_machine(1))
+        ii_w4 = simulated_initiation_interval(loop, FIG3_SCHEDULE1, paper_machine(4))
+        assert ii_w1 == 7
+        assert ii_w4 <= 6
+
+
+class TestFigure8Completions:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_s1_completion_5n_minus_1(self, n):
+        loop = figure8_loop()
+        sim = simulate_loop_order(loop, FIG8_SCHEDULE_S1, n, paper_machine(1))
+        assert sim.makespan == (5 * n - 1 if n > 1 else 4)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_s2_completion_4n(self, n):
+        loop = figure8_loop()
+        sim = simulate_loop_order(loop, FIG8_SCHEDULE_S2, n, paper_machine(1))
+        assert sim.makespan == 4 * n
+
+
+class TestMechanics:
+    def test_loop_stream(self):
+        assert loop_stream(["a", "b"], 2) == ["a[0]", "b[0]", "a[1]", "b[1]"]
+
+    def test_order_must_cover_body(self):
+        loop = figure8_loop()
+        with pytest.raises(ValueError, match="permutation"):
+            simulate_loop_order(loop, ["1", "2"], 2, paper_machine(1))
+
+    def test_iteration_completions_monotone(self):
+        loop = figure3_loop()
+        sim = simulate_loop_order(loop, FIG3_SCHEDULE1, 5, paper_machine(1))
+        comps = iteration_completions(sim, FIG3_SCHEDULE1, 5)
+        assert comps == sorted(comps)
+        assert len(comps) == 5
+
+    def test_simulated_ii_needs_iterations(self):
+        with pytest.raises(ValueError):
+            simulated_initiation_interval(
+                figure8_loop(), FIG8_SCHEDULE_S1, paper_machine(1), iterations=2
+            )
+
+    def test_periodic_ii_offsets_validated(self):
+        loop = figure8_loop()
+        with pytest.raises(ValueError, match="cover"):
+            periodic_initiation_interval(loop, {"1": 0}, paper_machine(1))
+
+    def test_periodic_ii_resource_bound(self):
+        """Without carried constraints the II is still bounded below by the
+        modulo resource table (single FU: distinct offsets mod II)."""
+        loop = loop_from_edges([("a", "b", 0, 0)], nodes=["a", "b", "c"])
+        off = {"a": 0, "b": 1, "c": 2}
+        ii = periodic_initiation_interval(loop, off, paper_machine(1))
+        assert ii == 3
+
+    def test_periodic_ii_can_overlap_iterations(self):
+        """II may be smaller than the single-iteration makespan when the
+        pattern interleaves cleanly (software-pipelining effect)."""
+        loop = loop_from_edges([("a", "b", 2, 0)], nodes=["a", "b"])
+        off = {"a": 0, "b": 3}  # makespan 4, but offsets 0,3 repeat at II=2
+        ii = periodic_initiation_interval(loop, off, paper_machine(1))
+        assert ii == 2

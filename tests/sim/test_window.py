@@ -1,0 +1,190 @@
+"""Unit tests for the lookahead-window simulator (paper §2.3 machine model)."""
+
+import pytest
+
+from repro.core import list_schedule
+from repro.ir import ANY, Trace, block_from_graph, graph_from_edges
+from repro.machine import MachineModel, paper_machine
+from repro.sim import SimulationDeadlock, simulate_trace, simulate_window
+from repro.workloads import random_dag
+
+
+class TestBasicSemantics:
+    def test_in_order_when_window_is_1(self):
+        """W=1: strictly in-order issue — each instruction waits for its turn
+        AND its operands."""
+        g = graph_from_edges([("a", "c", 2)], nodes=["a", "b", "c"])
+        sim = simulate_window(g, ["a", "b", "c"], paper_machine(1))
+        assert sim.start("a") == 0
+        assert sim.start("b") == 1
+        assert sim.start("c") == 3  # completion(a)=1 + latency 2
+
+    def test_window_lets_later_instruction_pass(self):
+        """W=2: b (ready) may issue while head a is stalled? No — the head
+        is never stalled at t=0; but a stalled *second* instruction can be
+        passed by the third within the window."""
+        g = graph_from_edges([("a", "b", 2)], nodes=["a", "b", "c"])
+        sim = simulate_window(g, ["a", "b", "c"], paper_machine(2))
+        # Window [a,b]: a@0. Window [b,c]: b not ready until 3, c ready: c@1.
+        assert sim.start("c") == 1
+        assert sim.start("b") == 3
+
+    def test_window_boundary_blocks_lookahead(self):
+        """The same stream with W=1 cannot overtake."""
+        g = graph_from_edges([("a", "b", 2)], nodes=["a", "b", "c"])
+        sim = simulate_window(g, ["a", "b", "c"], paper_machine(1))
+        assert sim.start("b") == 3
+        assert sim.start("c") == 4
+
+    def test_window_moves_only_when_head_issues(self):
+        """Head stalls pin the window: with W=2 and stream [b?, c, d] where
+        b stalls long, d (outside the window) cannot issue even when ready."""
+        g = graph_from_edges([("a", "b", 5)], nodes=["a", "b", "c", "d"])
+        sim = simulate_window(g, ["a", "b", "c", "d"], paper_machine(2))
+        assert sim.start("a") == 0
+        # After a issues, window = [b, c]: c@1. Then window stuck at [b, d]
+        # until b issues at 6; d must wait for the window even though ready.
+        assert sim.start("c") == 1
+        assert sim.start("b") == 6
+        assert sim.start("d") == 7
+
+    def test_ordering_constraint_earlier_ready_first(self):
+        """Two ready instructions in the window: the earlier one issues."""
+        g = graph_from_edges([], nodes=["a", "b"])
+        sim = simulate_window(g, ["a", "b"], paper_machine(2))
+        assert sim.start("a") == 0
+        assert sim.start("b") == 1
+        assert sim.issue_order == ["a", "b"]
+
+    def test_stall_cycles_counted(self):
+        g = graph_from_edges([("a", "b", 3)])
+        sim = simulate_window(g, ["a", "b"], paper_machine(2))
+        assert sim.stall_cycles == 3
+        assert sim.makespan == 5
+
+    def test_schedule_is_valid(self):
+        g = random_dag(20, edge_probability=0.2, latencies=(0, 1, 2), seed=3)
+        sim = simulate_window(g, g.nodes, paper_machine(4))
+        sim.schedule.validate()
+
+
+class TestErrors:
+    def test_stream_must_be_permutation(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        with pytest.raises(ValueError, match="permutation"):
+            simulate_window(g, ["a"], paper_machine(2))
+
+    def test_deadlock_detection(self):
+        """A dependence pointing W or more positions forward deadlocks."""
+        g = graph_from_edges([("b", "a", 0)], nodes=["a", "b"])
+        with pytest.raises(SimulationDeadlock):
+            simulate_window(g, ["a", "b"], paper_machine(1))
+        # W=2 resolves it: b can issue from the window before a.
+        sim = simulate_window(g, ["a", "b"], paper_machine(2))
+        assert sim.start("b") == 0
+
+    def test_machine_compatibility_checked(self):
+        g = graph_from_edges([], nodes=["f"], fu_classes={"f": "float"})
+        m = MachineModel(window_size=2, fu_counts={"fixed": 1})
+        with pytest.raises(ValueError, match="lacks"):
+            simulate_window(g, ["f"], m)
+
+
+class TestEquivalences:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_window_equals_list_schedule(self, seed):
+        """With W >= n the window never constrains anything, so the greedy
+        windowed execution of a priority list equals greedy list scheduling
+        from the same list."""
+        g = random_dag(12, edge_probability=0.3, latencies=(0, 1), seed=seed)
+        m = paper_machine(len(g))
+        ls = list_schedule(g, g.nodes, m)
+        sim = simulate_window(g, g.nodes, m)
+        assert sim.schedule.starts == ls.starts
+
+    def test_makespan_monotone_in_window(self):
+        g = random_dag(15, edge_probability=0.25, latencies=(0, 1, 2), seed=6)
+        spans = [
+            simulate_window(g, g.nodes, paper_machine(w)).makespan
+            for w in (1, 2, 4, 8, 16)
+        ]
+        assert all(a >= b for a, b in zip(spans, spans[1:]))
+
+
+class TestMultiUnit:
+    def test_parallel_issue(self):
+        g = graph_from_edges([], nodes=["a", "b", "c", "d"])
+        m = MachineModel(window_size=4, fu_counts={ANY: 2})
+        sim = simulate_window(g, g.nodes, m)
+        assert sim.makespan == 2
+
+    def test_issue_width(self):
+        g = graph_from_edges([], nodes=["a", "b", "c", "d"])
+        m = MachineModel(window_size=4, fu_counts={ANY: 4}, issue_width=2)
+        sim = simulate_window(g, g.nodes, m)
+        assert sim.makespan == 2
+
+    def test_typed_units(self):
+        g = graph_from_edges(
+            [],
+            nodes=["m1", "f1", "m2"],
+            fu_classes={"m1": "memory", "f1": "fixed", "m2": "memory"},
+        )
+        m = MachineModel(window_size=4, fu_counts={"memory": 1, "fixed": 1})
+        sim = simulate_window(g, g.nodes, m)
+        assert sim.makespan == 2
+        sim.schedule.validate()
+
+
+class TestTraceSimulation:
+    def make_trace(self):
+        g1 = graph_from_edges([("a", "b", 1)])
+        g2 = graph_from_edges([("c", "d", 0)])
+        return Trace(
+            [block_from_graph("B1", g1), block_from_graph("B2", g2)],
+            cross_edges=[("a", "c", 1)],
+        )
+
+    def test_basic(self):
+        t = self.make_trace()
+        sim = simulate_trace(t, [["a", "b"], ["c", "d"]], paper_machine(2))
+        sim.schedule.validate()
+        assert sim.makespan >= 4
+
+    def test_order_validation(self):
+        t = self.make_trace()
+        with pytest.raises(ValueError, match="permutation"):
+            simulate_trace(t, [["a"], ["c", "d"]], paper_machine(2))
+        with pytest.raises(ValueError, match="one order per"):
+            simulate_trace(t, [["a", "b"]], paper_machine(2))
+
+    def test_misprediction_serializes_boundary(self):
+        t = self.make_trace()
+        m = paper_machine(4)
+        good = simulate_trace(t, [["a", "b"], ["c", "d"]], m)
+        bad = simulate_trace(
+            t,
+            [["a", "b"], ["c", "d"]],
+            m,
+            mispredicted_blocks=[1],
+            misprediction_penalty=3,
+        )
+        assert bad.makespan >= good.makespan
+        # No block-2 instruction may start before every block-1 instruction
+        # completed plus the penalty.
+        b1_done = max(good.schedule.completion(n) for n in ["a", "b"])
+        assert bad.start("c") >= b1_done + 3
+        assert bad.start("d") >= b1_done + 3
+
+    def test_zero_penalty_still_barriers(self):
+        t = self.make_trace()
+        m = paper_machine(4)
+        bad = simulate_trace(
+            t,
+            [["a", "b"], ["c", "d"]],
+            m,
+            mispredicted_blocks=[1],
+            misprediction_penalty=0,
+        )
+        done = max(bad.schedule.completion(n) for n in ["a", "b"])
+        assert bad.start("c") >= done

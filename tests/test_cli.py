@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.paper_examples import FIG3_TEXT
+
+TWO_BLOCK = """
+block top
+  a op=li  defs=r1 lat=1
+  b op=li  defs=r2 lat=1
+  c op=mul defs=r3 uses=r1,r2 lat=4
+block bottom
+  d op=add defs=r4 uses=r3 lat=1
+"""
+
+
+@pytest.fixture
+def prog(tmp_path):
+    p = tmp_path / "prog.s"
+    p.write_text(TWO_BLOCK)
+    return str(p)
+
+
+@pytest.fixture
+def fig3(tmp_path):
+    p = tmp_path / "fig3.s"
+    p.write_text(FIG3_TEXT)
+    return str(p)
+
+
+class TestSchedule:
+    def test_default_anticipatory(self, prog, capsys):
+        assert main(["schedule", prog]) == 0
+        out = capsys.readouterr().out
+        assert "top:" in out and "bottom:" in out
+
+    def test_simulate_flag(self, prog, capsys):
+        assert main(["schedule", prog, "--simulate", "-w", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "completion:" in out and "W=2" in out
+
+    @pytest.mark.parametrize(
+        "sched", ["anticipatory", "local", "critical-path", "source"]
+    )
+    def test_all_schedulers(self, prog, capsys, sched):
+        assert main(["schedule", prog, "--scheduler", sched]) == 0
+
+    def test_machine_choices(self, prog):
+        for machine in ("paper", "inorder", "rs6000", "vliw"):
+            assert main(["schedule", prog, "--machine", machine]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["schedule", "/nonexistent/x.s"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("block A\n x wat=1\n")
+        assert main(["schedule", str(bad)]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+
+class TestRanks:
+    def test_ranks_table(self, fig3, capsys):
+        assert main(["ranks", fig3, "--deadline", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "BT" in out
+
+
+class TestLoop:
+    def test_figure3_loop(self, fig3, capsys):
+        assert main(["loop", fig3, "-w", "1", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen order: L4 ST M C4 BT" in out
+        assert "steady-state II: 6" in out
+
+    def test_rejects_multiblock(self, prog, capsys):
+        assert main(["loop", prog]) == 2
+        assert "single-block" in capsys.readouterr().err
+
+
+class TestDot:
+    def test_trace_dot_to_stdout(self, prog, capsys):
+        assert main(["dot", prog]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_loop_dot_to_file(self, fig3, tmp_path, capsys):
+        out_path = tmp_path / "g.dot"
+        assert main(["dot", fig3, "--loop", "-o", str(out_path)]) == 0
+        assert "digraph" in out_path.read_text()
+        assert "wrote" in capsys.readouterr().out

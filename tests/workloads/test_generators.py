@@ -1,0 +1,158 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ANY, FIXED
+from repro.workloads import (
+    branchy_trace,
+    chain_dag,
+    chain_of_blocks,
+    dot_product_loop,
+    dot_product_trace,
+    fork_join_dag,
+    independent_dag,
+    layered_dag,
+    partial_products_loop_trace,
+    random_dag,
+    random_loop,
+    random_loop_trace,
+    random_trace,
+    recurrence_loop,
+    reduction_trace,
+    saxpy_unrolled_trace,
+)
+
+
+class TestRandomDag:
+    def test_size_and_acyclicity(self):
+        g = random_dag(40, edge_probability=0.2, seed=0)
+        assert len(g) == 40
+        assert g.is_acyclic()
+
+    def test_deterministic_by_seed(self):
+        g1 = random_dag(20, seed=7)
+        g2 = random_dag(20, seed=7)
+        assert list(g1.edges()) == list(g2.edges())
+        g3 = random_dag(20, seed=8)
+        assert list(g1.edges()) != list(g3.edges())
+
+    def test_latency_alphabet_respected(self):
+        g = random_dag(30, edge_probability=0.4, latencies=(2, 5), seed=1)
+        assert all(lat in (2, 5) for _, _, lat in g.edges())
+
+    def test_exec_and_fu_alphabets(self):
+        g = random_dag(
+            30, exec_times=(1, 3), fu_classes=(ANY, FIXED), seed=2
+        )
+        assert {g.exec_time(n) for n in g.nodes} <= {1, 3}
+        assert {g.fu_class(n) for n in g.nodes} <= {ANY, FIXED}
+
+    def test_edge_probability_extremes(self):
+        assert random_dag(10, edge_probability=0.0, seed=0).num_edges() == 0
+        g = random_dag(10, edge_probability=1.0, seed=0)
+        assert g.num_edges() == 45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_dag(-1)
+        with pytest.raises(ValueError):
+            random_dag(5, edge_probability=1.5)
+
+    def test_shared_rng_advances(self):
+        rng = np.random.default_rng(0)
+        g1 = random_dag(10, seed=rng, prefix="a")
+        g2 = random_dag(10, seed=rng, prefix="b")
+        assert [e[2] for e in g1.edges()] != [e[2] for e in g2.edges()] or (
+            g1.num_edges() != g2.num_edges()
+        )
+
+
+class TestShapedDags:
+    def test_layered(self):
+        g = layered_dag(4, 3, seed=0)
+        assert len(g) == 12
+        assert g.is_acyclic()
+        # Every non-root node has at least one predecessor.
+        roots = g.sources()
+        assert all(n in roots or g.predecessors(n) for n in g.nodes)
+
+    def test_fork_join(self):
+        g = fork_join_dag(3, 2)
+        assert len(g) == 3 * 2 + 2
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_chain_and_independent(self):
+        assert chain_dag(5).critical_path_length() == 5 + 4
+        assert independent_dag(5).num_edges() == 0
+
+
+class TestRandomTraces:
+    def test_block_structure(self):
+        t = random_trace(4, 6, seed=0)
+        assert t.num_blocks == 4
+        assert all(len(t.block_nodes(i)) == 6 for i in range(4))
+
+    def test_variable_block_sizes(self):
+        t = random_trace(5, (2, 9), seed=1)
+        sizes = [len(t.block_nodes(i)) for i in range(5)]
+        assert all(2 <= s <= 9 for s in sizes)
+
+    def test_cross_edges_go_forward(self):
+        t = random_trace(4, 5, cross_probability=0.3, seed=2)
+        for u, v, _ in t.cross_edges:
+            assert t.block_index(u) < t.block_index(v)
+
+    def test_cross_span_limits_distance(self):
+        t = random_trace(6, 4, cross_probability=0.5, cross_span=1, seed=3)
+        for u, v, _ in t.cross_edges:
+            assert t.block_index(v) - t.block_index(u) == 1
+
+    def test_loop_trace_carried_edges(self):
+        lt = random_loop_trace(3, 4, carried_probability=0.2, seed=4)
+        assert lt.carried_edges  # at least something carried (probabilistic
+        # but seed-pinned)
+        assert all(e.distance == 1 for e in lt.carried_edges)
+
+    def test_chain_of_blocks(self):
+        graphs = [chain_dag(3, prefix=f"c{i}_") for i in range(3)]
+        t = chain_of_blocks(3, graphs, seam_latency=2, seed=0)
+        assert t.num_blocks == 3
+        assert len(t.cross_edges) == 2
+        assert all(lat == 2 for _, _, lat in t.cross_edges)
+
+
+class TestRandomLoops:
+    def test_always_has_carried_edge(self):
+        for seed in range(10):
+            loop = random_loop(5, carried_probability=0.01, seed=seed)
+            assert loop.carried_edges()
+
+    def test_gli_acyclic(self):
+        for seed in range(5):
+            loop = random_loop(8, seed=seed)
+            assert loop.loop_independent_subgraph().is_acyclic()
+
+    def test_recurrence_loop(self):
+        loop = recurrence_loop(3, recurrence_latency=4)
+        assert loop.recurrence_bound() == 3 + 2 + 4  # chain + latencies
+
+
+class TestKernels:
+    def test_all_kernels_build(self):
+        assert len(dot_product_trace()) == 8
+        assert len(branchy_trace().graph) == 11
+        assert saxpy_unrolled_trace().num_blocks == 2
+        assert len(reduction_trace().graph) == 15
+        assert len(dot_product_loop()) == 8
+
+    def test_partial_products_loop_trace(self):
+        lt = partial_products_loop_trace()
+        assert lt.num_blocks == 1
+        assert len(lt.carried_edges) == 6
+
+    def test_saxpy_seam_dependences(self):
+        t = saxpy_unrolled_trace()
+        # The two stores hit the same array: a cross-block memory edge.
+        assert any(u == "s0" and v == "s1" for u, v, _ in t.cross_edges)

@@ -1,0 +1,79 @@
+"""The paper's figure graphs: structural sanity pinning the reconstruction."""
+
+from repro.workloads import (
+    FIG1_NODES,
+    FIG2_NODES,
+    FIG3_NODES,
+    figure1_bb1,
+    figure2_bb2,
+    figure2_trace,
+    figure3_instructions,
+    figure3_loop,
+    figure8_loop,
+)
+
+
+class TestFigure1:
+    def test_structure(self):
+        g = figure1_bb1()
+        assert tuple(g.nodes) == FIG1_NODES
+        assert g.num_edges() == 7
+        assert all(lat == 1 for _, _, lat in g.edges())
+        # The paper: "Instruction x has nodes w, b, a, and r as descendants."
+        assert set(g.descendants("x")) == {"w", "b", "a", "r"}
+
+    def test_optimal_makespan_is_7(self):
+        from repro.schedulers import optimal_makespan
+
+        assert optimal_makespan(figure1_bb1()) == 7
+
+
+class TestFigure2:
+    def test_structure(self):
+        g = figure2_bb2()
+        assert tuple(g.nodes) == FIG2_NODES
+        assert g.sinks() == ["v", "g"]
+
+    def test_trace_with_and_without_edge(self):
+        with_edge = figure2_trace(True)
+        without = figure2_trace(False)
+        assert with_edge.graph.num_edges() == without.graph.num_edges() + 1
+        assert with_edge.cross_edges == [("w", "z", 1)]
+        assert without.cross_edges == []
+
+
+class TestFigure3:
+    def test_structure(self):
+        loop = figure3_loop()
+        assert tuple(loop.nodes) == FIG3_NODES
+        carried = {(e.src, e.dst) for e in loop.carried_edges()}
+        assert ("M", "ST") in carried  # the software-pipeline dependence
+        assert ("M", "M") in carried
+
+    def test_latencies(self):
+        loop = figure3_loop()
+        m_st = next(
+            e for e in loop.carried_edges() if (e.src, e.dst) == ("M", "ST")
+        )
+        assert m_st.latency == 4 and m_st.distance == 1
+
+    def test_parsed_instructions_match(self):
+        instrs = figure3_instructions()
+        assert [i.name for i in instrs] == list(FIG3_NODES)
+        assert next(i for i in instrs if i.name == "M").latency == 4
+        assert instrs[-1].is_branch
+
+
+class TestFigure8:
+    def test_structure(self):
+        loop = figure8_loop()
+        gli = loop.loop_independent_subgraph()
+        # Two sources (the paper's symmetric pair) and one sink.
+        assert gli.sources() == ["1", "2"]
+        assert gli.sinks() == ["3"]
+        assert len(loop.carried_edges()) == 1
+
+    def test_symmetry_of_gli(self):
+        """Nodes 1 and 2 are interchangeable in G_li (the trap)."""
+        gli = figure8_loop().loop_independent_subgraph()
+        assert dict(gli.successors("1")) == dict(gli.successors("2"))
