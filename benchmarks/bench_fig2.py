@@ -4,7 +4,7 @@ Regenerates the merged rank values and both schedules of §2.3, asserts the
 paper's numbers, and benchmarks Algorithm Lookahead on the trace.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import algorithm_lookahead, compute_ranks
 from repro.machine import paper_machine
@@ -69,4 +69,15 @@ def test_fig2_reproduction(benchmark):
         title="E2 / Figure 2: anticipatory schedules at W = 2",
     )
 
+    emit_metrics(
+        "E2_fig2",
+        {
+            "window_size": machine.window_size,
+            "paper_makespan": 11,
+            "makespan_with_cross_edge": sim_edge.makespan,
+            "makespan_without_cross_edge": sim_plain.makespan,
+            "stall_cycles_with_cross_edge": sim_edge.stall_cycles,
+            "stall_cycles_without_cross_edge": sim_plain.stall_cycles,
+        },
+    )
     benchmark(lambda: algorithm_lookahead(figure2_trace(True), machine))

@@ -8,7 +8,7 @@ instructions in well under a second.
 
 import time
 
-from common import emit_table
+from common import emit_metrics, emit_table, phase_walltimes
 
 from repro.core import algorithm_lookahead
 from repro.machine import paper_machine
@@ -31,6 +31,7 @@ def make_trace(blocks: int, block_size: int, seed: int = 0):
 def test_scaling(benchmark):
     m = paper_machine(4)
     rows = []
+    runs = []
     for blocks, size in SIZES:
         t = make_trace(blocks, size)
         start = time.perf_counter()
@@ -38,6 +39,16 @@ def test_scaling(benchmark):
         elapsed = time.perf_counter() - start
         max_relax = max(step.merge.relaxations for step in res.steps)
         rows.append([blocks, size, blocks * size, f"{elapsed * 1e3:.1f} ms", max_relax])
+        runs.append(
+            {
+                "blocks": blocks,
+                "instrs_per_block": size,
+                "total_instrs": blocks * size,
+                "wall_s": elapsed,
+                "predicted_makespan": res.predicted_makespan,
+                "max_merge_relaxations": max_relax,
+            }
+        )
         # Paper's bound: the relaxation loop is tiny (<= 2W in the optimal
         # regime; we allow the latency slack of the heuristic regime).
         assert max_relax <= 2 * m.window_size + 4, max_relax
@@ -51,4 +62,12 @@ def test_scaling(benchmark):
     )
 
     t = make_trace(4, 20)
+    emit_metrics(
+        "E10_scaling",
+        {
+            "window_size": m.window_size,
+            "runs": runs,
+            "phase_wall_s": phase_walltimes(lambda: algorithm_lookahead(t, m)),
+        },
+    )
     benchmark(lambda: algorithm_lookahead(t, m))

@@ -4,16 +4,26 @@ Each benchmark regenerates one of the paper's figures (E1-E4) or one table
 of the prospective study the paper proposed in §7 (E5-E11; see DESIGN.md).
 Tables are printed and also written to ``benchmarks/results/<name>.txt`` so
 EXPERIMENTS.md can quote them.
+
+Benchmarks additionally persist machine-readable per-run metrics
+(:func:`emit_metrics`) to ``benchmarks/results/<name>.json`` — makespans,
+stall cycles, speedups and per-phase wall times — so result trajectories
+(``BENCH_*.json``) can be populated from structured data rather than by
+scraping tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.analysis import format_table
+from repro.obs import TraceRecorder, recording
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+METRICS_SCHEMA_VERSION = 1
 
 
 def emit_table(
@@ -29,3 +39,31 @@ def emit_table(
     print()
     print(text)
     return text
+
+
+def emit_metrics(name: str, metrics: Mapping[str, object]) -> pathlib.Path:
+    """Persist one run's metrics as ``results/<name>.json``.
+
+    ``metrics`` should hold JSON-serializable scalars/lists/dicts — typical
+    keys: ``makespan``, ``stall_cycles``, ``speedup``, ``wall_s``,
+    ``phase_wall_s`` (see :func:`phase_walltimes`).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "name": name,
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "metrics": dict(metrics),
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"metrics: wrote {path}")
+    return path
+
+
+def phase_walltimes(fn) -> dict[str, float]:
+    """Run ``fn`` once under a span-only recorder and return total wall-clock
+    seconds per pipeline phase (cycle-level sim events disabled to keep the
+    measurement cheap)."""
+    with recording(TraceRecorder(sim_events=False)) as rec:
+        fn()
+    return rec.phase_walltimes()

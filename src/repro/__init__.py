@@ -19,7 +19,9 @@ instruction across a block boundary.  The package provides:
   section plus an exact brute-force oracle;
 - :mod:`repro.workloads` — the paper's figure examples and synthetic
   workload generators;
-- :mod:`repro.analysis` — metrics, tables, output verification.
+- :mod:`repro.analysis` — metrics, tables, output verification;
+- :mod:`repro.obs` — observability: pipeline spans/counters, cycle-level
+  simulator event traces, JSONL and Chrome-trace (Perfetto) exporters.
 
 Quickstart::
 
@@ -67,6 +69,7 @@ from .ir import (
     parse_trace,
 )
 from .machine import MachineModel, paper_machine, single_unit_machine
+from .obs import SimEvent, SimTrace, TraceRecorder, recording
 from .sim import (
     SimResult,
     periodic_initiation_interval,
@@ -90,8 +93,11 @@ __all__ = [
     "LoopTraceResult",
     "MachineModel",
     "Schedule",
+    "SimEvent",
     "SimResult",
+    "SimTrace",
     "Trace",
+    "TraceRecorder",
     "algorithm_lookahead",
     "anticipatory_schedule",
     "build_trace",
@@ -107,6 +113,7 @@ __all__ = [
     "parse_trace",
     "periodic_initiation_interval",
     "rank_schedule",
+    "recording",
     "schedule_block_with_late_idle_slots",
     "schedule_loop_trace",
     "schedule_single_block_loop",

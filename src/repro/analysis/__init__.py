@@ -10,7 +10,7 @@ from .metrics import (
     speedup,
     utilization,
 )
-from .report import format_table, print_table
+from .report import format_table, phase_summary, print_table, trace_summary
 from .verify import (
     OutputError,
     check_block_orders,
@@ -30,7 +30,9 @@ __all__ = [
     "idle_stats",
     "loop_to_dot",
     "overlap_cycles",
+    "phase_summary",
     "print_table",
+    "trace_summary",
     "schedule_to_dot",
     "speedup",
     "trace_to_dot",

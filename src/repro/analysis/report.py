@@ -47,3 +47,42 @@ def print_table(
     print()
     print(format_table(headers, rows, title))
     print()
+
+
+def trace_summary(trace) -> str:
+    """Stall/occupancy summary of a :class:`~repro.obs.events.SimTrace`:
+    issue and stall totals, stall causes, and window-occupancy statistics."""
+    counts = trace.counts()
+    occupancy = list(trace.occupancy_by_cycle().values())
+    rows = [
+        ["instructions", trace.num_instructions],
+        ["window size", trace.window_size],
+        ["cycles traced", trace.max_cycle + 1 if trace.events else 0],
+        ["issues", counts.get("issue", 0)],
+        ["stall cycles", trace.stall_cycles],
+        ["  dependence/resource stalls", trace.stall_cycles - trace.barrier_stall_cycles],
+        ["  barrier-wait stalls", trace.barrier_stall_cycles],
+        ["window advances", counts.get("window_advance", 0)],
+        ["barrier releases", counts.get("barrier_release", 0)],
+    ]
+    if occupancy:
+        rows.append(
+            ["mean window occupancy", sum(occupancy) / len(occupancy)]
+        )
+        rows.append(["max window occupancy", max(occupancy)])
+    title = "simulation summary" + (f" — {trace.label}" if trace.label else "")
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def phase_summary(recorder) -> str:
+    """Wall-time-per-phase summary of a
+    :class:`~repro.obs.recorder.TraceRecorder`'s spans."""
+    rows = [
+        [name, calls, f"{total * 1e3:.3f}", f"{total * 1e3 / calls:.3f}"]
+        for name, (calls, total) in recorder.span_stats().items()
+    ]
+    return format_table(
+        ["phase", "calls", "total ms", "mean ms"],
+        rows,
+        title="pipeline phase wall time",
+    )

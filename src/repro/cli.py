@@ -3,6 +3,8 @@
 Usage (also via ``python -m repro``)::
 
     repro schedule prog.s --window 4 --scheduler anticipatory --simulate
+    repro schedule prog.s --simulate --trace run.jsonl
+    repro trace run.jsonl
     repro ranks prog.s --deadline 100
     repro loop prog.s --window 2 --iterations 8
     repro dot prog.s -o deps.dot
@@ -10,14 +12,22 @@ Usage (also via ``python -m repro``)::
 ``prog.s`` uses the textual format of :mod:`repro.ir.parser` (see its
 docstring or ``examples/``); ``loop`` treats a single-block program as a
 loop body and derives its carried dependences automatically.
+
+``--trace FILE`` (on ``schedule``, ``ranks`` and ``loop``) records pipeline
+spans and cycle-level simulator events, writing both ``FILE`` (JSONL) and a
+Chrome trace-event sibling ``FILE`` with a ``.chrome.json`` suffix (openable
+in Perfetto).  ``repro trace FILE`` replays a recorded JSONL stream as a
+per-cycle timeline; see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
+from . import __version__
 from .analysis.dot import loop_to_dot, trace_to_dot
 from .analysis.report import format_table
 from .core import algorithm_lookahead, compute_ranks, local_block_orders
@@ -30,6 +40,14 @@ from .machine import (
     PAPER_CORE,
     RS6000_LIKE,
     WIDE_VLIW,
+)
+from .obs import TraceRecorder, recording
+from .obs.export import (
+    chrome_trace_path,
+    read_jsonl,
+    sim_traces_from_records,
+    write_chrome_trace,
+    write_jsonl,
 )
 from .schedulers import (
     block_orders_with_priority,
@@ -74,11 +92,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         orders = block_orders_with_priority(trace, source_order_priority, machine)
     for bb, order in zip(trace.blocks, orders):
         print(f"{bb.name}: {' '.join(order)}")
-    if args.simulate:
+    # --trace implies a simulation: cycle-level events only exist at runtime.
+    if args.simulate or args.trace:
         sim = simulate_trace(trace, orders, machine)
         print(f"completion: {sim.makespan} cycles "
               f"(stalls: {sim.stall_cycles}, W={machine.window_size})")
-        print(sim.schedule.gantt())
+        if args.simulate:
+            print(sim.schedule.gantt())
     return 0
 
 
@@ -124,6 +144,65 @@ def cmd_loop(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Replay a recorded JSONL trace as a per-cycle timeline."""
+    try:
+        records = read_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: not a repro trace file: {exc}", file=sys.stderr)
+        return 2
+    if not any(r.get("type") == "meta" for r in records):
+        print("error: not a repro trace file (no meta record)", file=sys.stderr)
+        return 2
+    sim_traces = sim_traces_from_records(records)
+    if not sim_traces:
+        print("no simulator events in this trace "
+              "(recorded without a simulation?)")
+    total_stalls = 0
+    for trace in sim_traces:
+        if trace.label:
+            print(f"== {trace.label} "
+                  f"(W={trace.window_size}, {trace.num_instructions} instructions)")
+        for cycle, events in trace.events_by_cycle().items():
+            parts = []
+            for e in events:
+                if e.kind == "issue":
+                    unit = f" [{e.unit}]" if e.unit else ""
+                    parts.append(f"issue {e.node}{unit}")
+                elif e.kind == "window_advance":
+                    parts.append(e.detail or f"advance head -> {e.head}")
+                else:
+                    parts.append(f"{e.kind.upper()}: {e.detail}" if e.detail
+                                 else e.kind.upper())
+            occ = next(
+                (e.occupancy for e in reversed(events) if e.occupancy is not None),
+                None,
+            )
+            occ_txt = f"  [window occupancy {occ}]" if occ is not None else ""
+            print(f"cycle {cycle:>5}: " + "; ".join(parts) + occ_txt)
+        print(f"total: {trace.issue_count} issues, {trace.stall_cycles} stall "
+              f"cycles, {trace.window_advances} window advances")
+        total_stalls += trace.stall_cycles
+    if len(sim_traces) > 1:
+        print(f"all simulations: {total_stalls} stall cycles")
+    spans = [r for r in records if r.get("type") == "span"]
+    if spans:
+        stats: dict[str, tuple[int, float]] = {}
+        for s in spans:
+            calls, total = stats.get(s["name"], (0, 0.0))
+            stats[s["name"]] = (calls + 1, total + s["dur_us"] / 1000)
+        rows = [
+            [name, calls, f"{total:.3f}"]
+            for name, (calls, total) in sorted(
+                stats.items(), key=lambda kv: -kv[1][1]
+            )
+        ]
+        print()
+        print(format_table(["phase", "calls", "total ms"], rows,
+                           title="pipeline phase wall time"))
+    return 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     if args.loop:
         blocks = parse_program(Path(args.file).read_text())
@@ -146,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Anticipatory instruction scheduling (SPAA'96) toolkit",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -153,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machine", choices=sorted(MACHINES), default="paper")
         p.add_argument("--window", "-w", type=int, default=None,
                        help="override the machine's lookahead window size")
+        p.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="record pipeline spans and cycle-level simulator events to "
+                 "FILE (JSONL) plus a Chrome-trace .chrome.json sibling "
+                 "(open in Perfetto); replay with 'repro trace FILE'",
+        )
 
     p = sub.add_parser("schedule", help="schedule a trace and print block orders")
     common(p)
@@ -181,13 +269,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="derive and render the loop dependence graph")
     p.add_argument("--output", "-o", default=None)
     p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay a recorded JSONL trace as a per-cycle timeline",
+    )
+    p.add_argument("file", help="JSONL trace written by --trace")
+    p.set_defaults(func=cmd_trace)
     return parser
+
+
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - not installed
+        return __version__
+
+
+def _run_traced(args: argparse.Namespace) -> int:
+    """Run a subcommand under a recorder and export both trace formats."""
+    with recording(TraceRecorder()) as rec:
+        code = args.func(args)
+    jsonl = write_jsonl(args.trace, rec)
+    chrome = write_chrome_trace(chrome_trace_path(jsonl), rec)
+    sim_events = sum(len(t.events) for t in rec.sim_traces)
+    print(f"trace: wrote {jsonl} and {chrome} "
+          f"({len(rec.spans)} spans, {sim_events} simulator events)")
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "trace", None) and args.func is not cmd_trace:
+            return _run_traced(args)
         return args.func(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -195,6 +314,11 @@ def main(argv: list[str] | None = None) -> int:
     except ParseError as exc:
         print(f"parse error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager that exited early (e.g. `| head`).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

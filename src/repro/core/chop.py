@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..obs import recorder as obs
 from .schedule import Schedule
 
 
@@ -51,6 +52,17 @@ def chop(
     """
     if window_size < 1:
         raise ValueError(f"window_size must be >= 1, got {window_size}")
+    with obs.span("chop", nodes=len(schedule.graph), window=window_size):
+        result = _chop(schedule, deadlines, window_size)
+    obs.count("chop.committed", len(result.committed))
+    return result
+
+
+def _chop(
+    schedule: Schedule,
+    deadlines: Mapping[str, int],
+    window_size: int,
+) -> ChopResult:
     graph = schedule.graph
     no_chop = ChopResult(
         [],

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..machine.model import MachineModel, single_unit_machine
+from ..obs import recorder as obs
 from .rank import compute_ranks, fill_deadlines, rank_schedule
 from .schedule import SINGLE_UNIT, Schedule, Unit
 
@@ -120,16 +121,23 @@ def delay_idle_slots(
         return schedule, d  # nothing runs on this unit: nothing to delay
     if not schedule.idle_times(unit):
         return schedule, d
-    index = 0
-    while index < len(schedule.idle_times(unit)):
-        result = move_idle_slot(schedule, d, index, machine, unit)
-        schedule, d = result.schedule, result.deadlines
-        if result.new_time is None and result.moved:
-            continue  # slot eliminated: the next slot shifted into ``index``
-        if not result.moved:
-            index += 1  # cannot move further: freeze and go to the next slot
-        # else: moved later — keep working on the same positional slot.
-    return schedule, d
+    with obs.span(
+        "delay_idle_slots",
+        unit=f"{unit[0]}{unit[1]}",
+        slots=len(schedule.idle_times(unit)),
+    ):
+        index = 0
+        while index < len(schedule.idle_times(unit)):
+            result = move_idle_slot(schedule, d, index, machine, unit)
+            schedule, d = result.schedule, result.deadlines
+            if result.moved:
+                obs.count("idle.slots_moved")
+            if result.new_time is None and result.moved:
+                continue  # slot eliminated: the next slot shifted into ``index``
+            if not result.moved:
+                index += 1  # cannot move further: freeze and go to the next slot
+            # else: moved later — keep working on the same positional slot.
+        return schedule, d
 
 
 def makespan_deadlines(schedule: Schedule) -> dict[str, int]:

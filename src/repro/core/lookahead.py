@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 from ..ir.basicblock import Trace
 from ..machine.model import MachineModel, single_unit_machine
+from ..obs import recorder as obs
 from .chop import chop
 from .idle import delay_idle_slots
 from .merge import MergeResult, merge
@@ -110,32 +111,39 @@ def algorithm_lookahead(
     offset = 0
     suffix: Schedule | None = None
 
-    for bb in trace.blocks:
-        new_nodes = bb.node_names
-        merged = merge(
-            trace.graph, old_nodes, old_deadlines, old_makespan, new_nodes, machine
-        )
-        delayed, deadlines = merged.schedule, merged.deadlines
-        if delay_idles:
-            for unit in machine.unit_names():
-                delayed, deadlines = delay_idle_slots(
-                    delayed, deadlines, machine, unit=unit
+    with obs.span("lookahead", blocks=trace.num_blocks, window=window):
+        for bb in trace.blocks:
+            with obs.span("lookahead.block", block=bb.name):
+                new_nodes = bb.node_names
+                merged = merge(
+                    trace.graph,
+                    old_nodes,
+                    old_deadlines,
+                    old_makespan,
+                    new_nodes,
+                    machine,
                 )
-        result = chop(delayed, deadlines, window)
-        steps.append(
-            LookaheadStep(
-                block=bb.name,
-                merge=merged,
-                delayed=delayed,
-                committed=result.committed,
-                shift=result.shift,
-            )
-        )
-        offset += result.shift
-        suffix = result.suffix
-        old_nodes = suffix.graph.nodes
-        old_deadlines = result.suffix_deadlines
-        old_makespan = suffix.makespan
+                delayed, deadlines = merged.schedule, merged.deadlines
+                if delay_idles:
+                    for unit in machine.unit_names():
+                        delayed, deadlines = delay_idle_slots(
+                            delayed, deadlines, machine, unit=unit
+                        )
+                result = chop(delayed, deadlines, window)
+                steps.append(
+                    LookaheadStep(
+                        block=bb.name,
+                        merge=merged,
+                        delayed=delayed,
+                        committed=result.committed,
+                        shift=result.shift,
+                    )
+                )
+                offset += result.shift
+                suffix = result.suffix
+                old_nodes = suffix.graph.nodes
+                old_deadlines = result.suffix_deadlines
+                old_makespan = suffix.makespan
 
     assert suffix is not None  # traces have at least one block
     predicted = offset + suffix.makespan

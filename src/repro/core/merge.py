@@ -23,6 +23,7 @@ from typing import Iterable, Mapping
 
 from ..ir.depgraph import DependenceGraph
 from ..machine.model import MachineModel, single_unit_machine
+from ..obs import recorder as obs
 from .rank import (
     minimum_makespan_schedule,
     rank_schedule,
@@ -67,6 +68,21 @@ def merge(
     overlap = set(old_list) & set(new_list)
     if overlap:
         raise ValueError(f"old and new overlap: {sorted(overlap)}")
+    with obs.span("merge", old=len(old_list), new=len(new_list)):
+        result = _merge(trace_graph, old_list, new_list, old_deadlines,
+                        old_makespan, machine)
+    obs.count("merge.relaxations", result.relaxations)
+    return result
+
+
+def _merge(
+    trace_graph: DependenceGraph,
+    old_list: list[str],
+    new_list: list[str],
+    old_deadlines: Mapping[str, int],
+    old_makespan: int,
+    machine: MachineModel,
+) -> MergeResult:
     cur = trace_graph.subgraph(old_list + new_list)
 
     # Pass 1: lower bound with the artificial deadline only.

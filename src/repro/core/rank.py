@@ -35,6 +35,7 @@ from typing import Mapping, Sequence
 from ..ir.depgraph import DependenceGraph
 from ..ir.instruction import ANY
 from ..machine.model import MachineModel, single_unit_machine
+from ..obs import recorder as obs
 from .schedule import Schedule, Unit
 
 
@@ -170,23 +171,24 @@ def compute_ranks(
        rank(x) is through the earliest-start term).
     """
     machine = machine or single_unit_machine()
-    d = fill_deadlines(graph, deadlines)
-    ranks: dict[str, int] = {}
-    order = graph.topological_order()
-    for x in reversed(order):
-        rank = d[x]
-        descendants = graph.descendants(x)
-        if descendants:
-            slots = _BackwardSlots(machine)
-            starts: dict[str, int] = {}
-            for y in sorted(descendants, key=lambda n: ranks[n], reverse=True):
-                end = slots.place(graph.fu_class(y), graph.exec_time(y), ranks[y])
-                starts[y] = end - graph.exec_time(y)
-            rank = min(rank, min(starts.values()))
-            for y, lat in graph.successors(x).items():
-                rank = min(rank, starts[y] - lat)
-        ranks[x] = rank
-    return ranks
+    with obs.span("rank", nodes=len(graph)):
+        d = fill_deadlines(graph, deadlines)
+        ranks: dict[str, int] = {}
+        order = graph.topological_order()
+        for x in reversed(order):
+            rank = d[x]
+            descendants = graph.descendants(x)
+            if descendants:
+                slots = _BackwardSlots(machine)
+                starts: dict[str, int] = {}
+                for y in sorted(descendants, key=lambda n: ranks[n], reverse=True):
+                    end = slots.place(graph.fu_class(y), graph.exec_time(y), ranks[y])
+                    starts[y] = end - graph.exec_time(y)
+                rank = min(rank, min(starts.values()))
+                for y, lat in graph.successors(x).items():
+                    rank = min(rank, starts[y] - lat)
+            ranks[x] = rank
+        return ranks
 
 
 def list_schedule(

@@ -1,0 +1,50 @@
+"""Observability: pipeline spans, counters, cycle-level simulator event
+traces, and exporters (JSONL, Chrome trace-event / Perfetto).
+
+See ``docs/OBSERVABILITY.md`` for the event schema and usage guide.
+"""
+
+from .events import EVENT_KINDS, STALL_KINDS, SimEvent, SimTrace
+from .export import (
+    chrome_trace_events,
+    chrome_trace_path,
+    read_jsonl,
+    recorder_records,
+    sim_traces_from_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .recorder import (
+    SpanRecord,
+    TraceRecorder,
+    count,
+    get_recorder,
+    publish_sim_trace,
+    recording,
+    set_recorder,
+    sim_events_enabled,
+    span,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "STALL_KINDS",
+    "SimEvent",
+    "SimTrace",
+    "SpanRecord",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "chrome_trace_path",
+    "count",
+    "get_recorder",
+    "publish_sim_trace",
+    "read_jsonl",
+    "recorder_records",
+    "recording",
+    "set_recorder",
+    "sim_events_enabled",
+    "sim_traces_from_records",
+    "span",
+    "write_chrome_trace",
+    "write_jsonl",
+]

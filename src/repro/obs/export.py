@@ -1,0 +1,197 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+Two output formats cover the two consumption modes:
+
+- **JSONL** (:func:`write_jsonl`) — one self-describing JSON object per
+  line, the machine-readable source of truth.  ``repro trace FILE`` replays
+  it; any analysis script can stream it.  Line types: ``meta``, ``span``,
+  ``counter``, ``sim_trace`` (header) and ``sim`` (one event).
+- **Chrome trace-event JSON** (:func:`write_chrome_trace`) — openable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Pipeline
+  spans appear as nested slices on a "pipeline (wall time)" track
+  (microsecond timebase); each simulated execution gets its own
+  "simulator" track on a 1 cycle = 1 µs timebase with issue slices, stall
+  instants and a window-occupancy counter track.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from .events import SimEvent, SimTrace, STALL_KINDS
+from .recorder import TraceRecorder
+
+JSONL_FORMAT = "repro-trace"
+JSONL_VERSION = 1
+
+_PID = 1
+_PIPELINE_TID = 1
+_SIM_TID_BASE = 2
+
+
+def recorder_records(recorder: TraceRecorder) -> Iterator[dict]:
+    """All records of ``recorder`` as JSON-serializable dicts (the JSONL
+    line stream)."""
+    yield {
+        "type": "meta",
+        "format": JSONL_FORMAT,
+        "version": JSONL_VERSION,
+        "spans": len(recorder.spans),
+        "sim_traces": len(recorder.sim_traces),
+    }
+    for s in recorder.spans:
+        yield s.to_dict()
+    for name, value in sorted(recorder.counters.items()):
+        yield {"type": "counter", "name": name, "value": value}
+    for i, trace in enumerate(recorder.sim_traces):
+        yield {
+            "type": "sim_trace",
+            "index": i,
+            "label": trace.label,
+            "window_size": trace.window_size,
+            "instructions": trace.num_instructions,
+            "events": len(trace.events),
+            "stall_cycles": trace.stall_cycles,
+        }
+        for e in trace.events:
+            yield {**e.to_dict(), "trace": i}
+
+
+def write_jsonl(path: str | Path, recorder: TraceRecorder) -> Path:
+    """Write the recorder's full record stream as JSONL; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for record in recorder_records(recorder):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file back into its record dicts (blank lines
+    skipped)."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def sim_traces_from_records(records: list[dict]) -> list[SimTrace]:
+    """Rebuild :class:`SimTrace` objects from parsed JSONL records."""
+    headers = [r for r in records if r.get("type") == "sim_trace"]
+    traces: dict[int, SimTrace] = {}
+    for h in headers:
+        traces[h["index"]] = SimTrace(
+            window_size=h["window_size"],
+            num_instructions=h["instructions"],
+            label=h.get("label", ""),
+        )
+    for r in records:
+        if r.get("type") == "sim":
+            idx = r.get("trace", 0)
+            if idx not in traces:
+                traces[idx] = SimTrace(window_size=0, num_instructions=0)
+            traces[idx].events.append(SimEvent.from_dict(r))
+    return [traces[i] for i in sorted(traces)]
+
+
+def chrome_trace_events(recorder: TraceRecorder) -> list[dict]:
+    """The recorder's streams as Chrome trace-event dicts."""
+    events: list[dict] = [
+        _thread_meta(_PIPELINE_TID, "pipeline (wall time)"),
+    ]
+    t0 = min((s.start_ns for s in recorder.spans), default=0)
+    for s in recorder.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": "pipeline",
+                "ph": "X",
+                "ts": (s.start_ns - t0) / 1000,
+                "dur": s.duration_ns / 1000,
+                "pid": _PID,
+                "tid": _PIPELINE_TID,
+                "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+            }
+        )
+    for i, trace in enumerate(recorder.sim_traces):
+        tid = _SIM_TID_BASE + i
+        label = trace.label or f"simulation {i}"
+        events.append(_thread_meta(tid, f"{label} (1 cycle = 1 µs)"))
+        events.extend(_sim_trace_events(trace, tid))
+    return events
+
+
+def _sim_trace_events(trace: SimTrace, tid: int) -> Iterator[dict]:
+    for e in trace.events:
+        if e.kind == "issue":
+            yield {
+                "name": e.node or "issue",
+                "cat": "sim",
+                "ph": "X",
+                "ts": e.cycle,
+                "dur": 1,
+                "pid": _PID,
+                "tid": tid,
+                "args": {"unit": e.unit, "head": e.head},
+            }
+        elif e.kind in STALL_KINDS or e.kind == "deadlock":
+            yield {
+                "name": e.kind,
+                "cat": "sim",
+                "ph": "i",
+                "s": "t",
+                "ts": e.cycle,
+                "pid": _PID,
+                "tid": tid,
+                "args": {"detail": e.detail},
+            }
+        if e.occupancy is not None:
+            yield {
+                "name": f"window occupancy (tid {tid})",
+                "cat": "sim",
+                "ph": "C",
+                "ts": e.cycle,
+                "pid": _PID,
+                "tid": tid,
+                "args": {"occupancy": e.occupancy},
+            }
+
+
+def _thread_meta(tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": _PID,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(path: str | Path, recorder: TraceRecorder) -> Path:
+    """Write a Chrome trace-event JSON file (Perfetto-compatible); returns
+    the path."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {"format": JSONL_FORMAT, "version": JSONL_VERSION},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def chrome_trace_path(jsonl_path: str | Path) -> Path:
+    """Conventional Chrome-trace sibling of a JSONL path
+    (``trace.jsonl`` → ``trace.chrome.json``)."""
+    path = Path(jsonl_path)
+    return path.with_suffix(".chrome.json")

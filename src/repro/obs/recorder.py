@@ -1,0 +1,210 @@
+"""Low-overhead span/counter recorder.
+
+Instrumented code calls the module-level helpers::
+
+    from ..obs import recorder as obs
+
+    def compute_ranks(...):
+        with obs.span("rank", nodes=len(graph)):
+            ...
+
+When no recorder is installed (the default) ``obs.span`` returns a shared
+reusable null context manager and ``obs.count`` is a no-op — the cost is one
+function call and an ``is None`` test, so instrumentation can live on warm
+paths permanently.  Tracing is turned on by installing a
+:class:`TraceRecorder`, most conveniently with the :func:`recording` context
+manager::
+
+    with recording() as rec:
+        algorithm_lookahead(trace, machine)
+    print(rec.phase_walltimes())
+
+The recorder collects three streams:
+
+- **spans** — named wall-clock intervals with nesting depth and arbitrary
+  attributes (one per pipeline phase invocation);
+- **counters** — monotonically accumulated named integers;
+- **sim traces** — :class:`~repro.obs.events.SimTrace` cycle-event streams
+  published by the window simulator (whose event collection keys off
+  :func:`sim_events_enabled`).
+
+Exporters for JSONL and the Chrome trace-event format live in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .events import SimTrace
+
+
+@dataclass
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    #: ``time.perf_counter_ns`` timestamp at entry.
+    start_ns: int
+    duration_ns: int
+    #: Nesting depth at entry (0 = top level).
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "type": "span",
+            "name": self.name,
+            "start_us": self.start_ns // 1000,
+            "dur_us": self.duration_ns / 1000,
+            "depth": self.depth,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class _Span:
+    """Context manager recording one span into its recorder."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_start_ns", "_depth")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, attrs: dict) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        stack = self._recorder._stack
+        self._depth = len(stack)
+        stack.append(self.name)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter_ns()
+        self._recorder._stack.pop()
+        self._recorder.spans.append(
+            SpanRecord(
+                name=self.name,
+                start_ns=self._start_ns,
+                duration_ns=end - self._start_ns,
+                depth=self._depth,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class TraceRecorder:
+    """Collects spans, counters and simulator event traces.
+
+    ``sim_events`` controls whether window simulations started while this
+    recorder is active collect cycle-level events (they are by far the
+    largest stream; disable for pure wall-time profiling).
+    """
+
+    def __init__(self, sim_events: bool = True) -> None:
+        self.sim_events = sim_events
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, int] = {}
+        self.sim_traces: list[SimTrace] = []
+        self._stack: list[str] = []
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_sim_trace(self, trace: SimTrace) -> None:
+        self.sim_traces.append(trace)
+
+    def phase_walltimes(self) -> dict[str, float]:
+        """Total wall-clock seconds per span name, descending."""
+        totals: dict[str, float] = {}
+        for s in self.spans:
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration_s
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def span_stats(self) -> dict[str, tuple[int, float]]:
+        """Per span name: ``(call count, total seconds)``, descending by
+        total."""
+        counts: dict[str, int] = {}
+        totals: dict[str, float] = {}
+        for s in self.spans:
+            counts[s.name] = counts.get(s.name, 0) + 1
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration_s
+        return {
+            name: (counts[name], totals[name])
+            for name in sorted(totals, key=lambda n: -totals[n])
+        }
+
+
+#: Shared reusable no-op context manager handed out when tracing is off.
+_NULL_SPAN = nullcontext()
+
+_active: TraceRecorder | None = None
+
+
+def get_recorder() -> TraceRecorder | None:
+    """The currently installed recorder, or ``None`` (tracing off)."""
+    return _active
+
+
+def set_recorder(recorder: TraceRecorder | None) -> TraceRecorder | None:
+    """Install ``recorder`` globally (``None`` turns tracing off); returns
+    the previous recorder."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+@contextmanager
+def recording(recorder: TraceRecorder | None = None) -> Iterator[TraceRecorder]:
+    """Install a recorder for the duration of the block (creating a default
+    :class:`TraceRecorder` if none is given) and restore the previous one on
+    exit."""
+    rec = recorder if recorder is not None else TraceRecorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+def span(name: str, **attrs):
+    """A span context manager on the active recorder — or the shared no-op
+    context when tracing is off."""
+    rec = _active
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, **attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Accumulate a counter on the active recorder (no-op when off)."""
+    rec = _active
+    if rec is not None:
+        rec.count(name, n)
+
+
+def sim_events_enabled() -> bool:
+    """True iff an active recorder wants cycle-level simulator events."""
+    rec = _active
+    return rec is not None and rec.sim_events
+
+
+def publish_sim_trace(trace: SimTrace) -> None:
+    """Hand a finished simulator trace to the active recorder, if any."""
+    rec = _active
+    if rec is not None:
+        rec.add_sim_trace(trace)

@@ -1,5 +1,6 @@
 """Hardware lookahead simulation substrate."""
 
+from ..obs.events import SimEvent, SimTrace
 from .branch import BranchModel, PredictionStudy, run_with_prediction
 from .cfg_runner import CFGEvaluation, PathResult, enumerate_paths, evaluate_cfg
 from .explain import Stall, StallReport, event_log, explain_stalls
@@ -19,7 +20,9 @@ __all__ = [
     "CFGEvaluation",
     "PathResult",
     "PredictionStudy",
+    "SimEvent",
     "SimResult",
+    "SimTrace",
     "SimulationDeadlock",
     "Stall",
     "StallReport",

@@ -18,6 +18,7 @@ from typing import Mapping, Sequence
 from ..ir.basicblock import Trace
 from ..ir.cfg import ControlFlowGraph
 from ..machine.model import MachineModel, single_unit_machine
+from ..obs import recorder as obs
 from .window import simulate_trace
 
 
@@ -104,20 +105,29 @@ def evaluate_cfg(
         return max(succs, key=lambda e: e.probability).dst
 
     results: list[PathResult] = []
-    for path, prob in enumerate_paths(cfg, max_depth=max_depth):
-        trace = cfg.build_trace(path, list(cross_edges))
-        orders = [list(block_orders[name]) for name in path]
-        mispredicted = [
-            i
-            for i in range(1, len(path))
-            if predicted_successor(path[i - 1]) != path[i]
-        ]
-        sim = simulate_trace(
-            trace,
-            orders,
-            machine,
-            mispredicted_blocks=mispredicted,
-            misprediction_penalty=misprediction_penalty,
-        )
-        results.append(PathResult(tuple(path), prob, sim.makespan))
+    paths = enumerate_paths(cfg, max_depth=max_depth)
+    with obs.span("sim.cfg", paths=len(paths)):
+        for path, prob in paths:
+            trace = cfg.build_trace(path, list(cross_edges))
+            orders = [list(block_orders[name]) for name in path]
+            mispredicted = [
+                i
+                for i in range(1, len(path))
+                if predicted_successor(path[i - 1]) != path[i]
+            ]
+            with obs.span(
+                "sim.cfg.path",
+                path="->".join(path),
+                probability=prob,
+                mispredictions=len(mispredicted),
+            ):
+                sim = simulate_trace(
+                    trace,
+                    orders,
+                    machine,
+                    mispredicted_blocks=mispredicted,
+                    misprediction_penalty=misprediction_penalty,
+                    trace_label="->".join(path),
+                )
+            results.append(PathResult(tuple(path), prob, sim.makespan))
     return CFGEvaluation(results)

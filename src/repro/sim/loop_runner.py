@@ -23,6 +23,7 @@ from ..ir.basicblock import LoopTrace
 from ..ir.instruction import ANY
 from ..ir.loopgraph import LoopGraph, instance_name
 from ..machine.model import MachineModel, single_unit_machine
+from ..obs import recorder as obs
 from .window import SimResult, simulate_window
 
 
@@ -44,8 +45,14 @@ def simulate_loop_order(
     machine = machine or single_unit_machine()
     if sorted(order) != sorted(loop.nodes):
         raise ValueError("order must be a permutation of the loop body")
-    graph = loop.unroll(iterations)
-    return simulate_window(graph, loop_stream(order, iterations), machine)
+    with obs.span("sim.loop", iterations=iterations, body=len(loop.nodes)):
+        graph = loop.unroll(iterations)
+        return simulate_window(
+            graph,
+            loop_stream(order, iterations),
+            machine,
+            trace_label=f"loop x{iterations}",
+        )
 
 
 def simulate_loop_trace_orders(
@@ -60,11 +67,16 @@ def simulate_loop_trace_orders(
     per_iter: list[str] = [n for order in block_orders for n in order]
     if sorted(per_iter) != sorted(loop_trace.program_order()):
         raise ValueError("block orders must cover the trace exactly once")
-    graph = loop_trace.unrolled_graph(iterations)
-    stream = [
-        instance_name(node, k) for k in range(iterations) for node in per_iter
-    ]
-    return simulate_window(graph, stream, machine)
+    with obs.span(
+        "sim.loop", iterations=iterations, body=len(per_iter)
+    ):
+        graph = loop_trace.unrolled_graph(iterations)
+        stream = [
+            instance_name(node, k) for k in range(iterations) for node in per_iter
+        ]
+        return simulate_window(
+            graph, stream, machine, trace_label=f"loop trace x{iterations}"
+        )
 
 
 def iteration_completions(

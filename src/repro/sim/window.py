@@ -13,17 +13,37 @@ experiment measures against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..ir.depgraph import DependenceGraph
 from ..machine.model import MachineModel, single_unit_machine
 from ..core.schedule import Schedule, Unit
+from ..obs import recorder as obs
+from ..obs.events import SimEvent, SimTrace
 
 
 class SimulationDeadlock(RuntimeError):
     """The stream can never make progress: some window instruction depends on
-    an instruction more than W−1 positions later in the stream."""
+    an instruction more than W−1 positions later in the stream.
+
+    Diagnostic attributes (``None`` for the generic convergence guard):
+    ``node`` — the blocked window instruction; ``dependence`` — its unmet
+    predecessor; ``window`` — the ``(head, head + W)`` stream span the
+    window covered when progress stopped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: str | None = None,
+        dependence: str | None = None,
+        window: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.dependence = dependence
+        self.window = window
 
 
 @dataclass
@@ -36,6 +56,10 @@ class SimResult:
     #: Cycles up to (and excluding) the last issue in which no instruction
     #: was issued — the head-of-window stalls the lookahead failed to hide.
     stall_cycles: int
+    #: Cycle-level event stream, populated when tracing was enabled (an
+    #: explicit ``collect_trace=True`` or an active recorder wanting sim
+    #: events); ``trace.stall_cycles == stall_cycles`` always holds.
+    trace: SimTrace | None = field(default=None, repr=False)
 
     @property
     def makespan(self) -> int:
@@ -50,6 +74,8 @@ def simulate_window(
     stream: Sequence[str],
     machine: MachineModel | None = None,
     barriers: Mapping[int, int] | None = None,
+    collect_trace: bool | None = None,
+    trace_label: str = "",
 ) -> SimResult:
     """Greedily execute ``stream`` on ``machine``'s lookahead hardware.
 
@@ -61,6 +87,13 @@ def simulate_window(
     extra cycles — this models a branch misprediction flush at a block
     boundary (the hardware rolls back eagerly executed instructions of the
     wrong path and refills the window).
+
+    ``collect_trace`` controls cycle-level event tracing (see
+    :class:`~repro.obs.events.SimTrace`): ``True``/``False`` force it, and
+    the default ``None`` collects whenever an active
+    :class:`~repro.obs.recorder.TraceRecorder` wants simulator events.  The
+    finished trace is attached as ``SimResult.trace`` and published to the
+    active recorder.
 
     Raises :class:`SimulationDeadlock` for streams whose dependences point
     more than W−1 positions forward (cannot occur for streams derived from
@@ -89,6 +122,18 @@ def simulate_window(
     # barrier has issued (completion times are then fixed).
     barrier_release: dict[int, int | None] = {b: None for b in barriers}
 
+    if collect_trace is None:
+        collect_trace = obs.sim_events_enabled()
+    trace_obj = (
+        SimTrace(window_size=w, num_instructions=n, label=trace_label)
+        if collect_trace
+        else None
+    )
+
+    def window_occupancy() -> int:
+        """Unissued instructions currently visible to the issue logic."""
+        return sum(1 for i in range(head, min(head + w, n)) if not issued[i])
+
     def ready_time(node: str) -> int | None:
         """Earliest issue time permitted by dependences and barriers, or None
         if a predecessor has not issued yet."""
@@ -109,13 +154,26 @@ def simulate_window(
     def update_barriers() -> None:
         for b in barriers:
             if barrier_release[b] is None and all(issued[i] for i in range(b)):
-                barrier_release[b] = max(
+                release = max(
                     (completion[stream[i]] for i in range(b)), default=0
                 )
+                barrier_release[b] = release
+                if trace_obj is not None:
+                    trace_obj.events.append(
+                        SimEvent(
+                            cycle=release,
+                            kind="barrier_release",
+                            head=head,
+                            detail=(
+                                f"barrier at stream position {b} releases at "
+                                f"cycle {release} (+{barriers[b]} penalty)"
+                            ),
+                        )
+                    )
 
-    update_barriers()
     head = 0
     time = 0
+    update_barriers()
     guard = 0
     max_guard = 4 * (
         sum(graph.exec_time(x) for x in graph.nodes)
@@ -150,10 +208,32 @@ def simulate_window(
             unit_free_at[unit] = completion[node]
             issue_order.append(node)
             issued_this_cycle += 1
+            if trace_obj is not None:
+                trace_obj.events.append(
+                    SimEvent(
+                        cycle=time,
+                        kind="issue",
+                        node=node,
+                        unit=f"{unit[0]}{unit[1]}",
+                        head=head,
+                        occupancy=window_occupancy(),
+                    )
+                )
             if issued_this_cycle >= width:
                 break
+        old_head = head
         while head < n and issued[head]:
             head += 1
+        if trace_obj is not None and head > old_head:
+            trace_obj.events.append(
+                SimEvent(
+                    cycle=time,
+                    kind="window_advance",
+                    head=head,
+                    occupancy=window_occupancy(),
+                    detail=f"head {old_head} -> {head}",
+                )
+            )
         update_barriers()
         if head >= n:
             break
@@ -174,14 +254,44 @@ def simulate_window(
                 events.append(rt)
         events.extend(t for t in unit_free_at.values() if t > time)
         if blocked_now:
-            time += 1
+            next_time = time + 1
         elif events:
-            time = min(events)
+            next_time = min(events)
         else:
-            raise SimulationDeadlock(
-                f"no instruction in the window [{head}, {head + w}) can ever "
-                f"become ready (window too small for the stream's dependences)"
-            )
+            exc = _deadlock(graph, stream, head, w, n, completion, position, time)
+            if trace_obj is not None:
+                trace_obj.events.append(
+                    SimEvent(
+                        cycle=time,
+                        kind="deadlock",
+                        node=exc.node,
+                        head=head,
+                        occupancy=window_occupancy(),
+                        detail=str(exc),
+                    )
+                )
+                obs.publish_sim_trace(trace_obj)
+            raise exc
+        if trace_obj is not None:
+            # Every cycle passed over without an issue is a stall the
+            # lookahead failed to hide; classify each against current state.
+            first_stall = time + 1 if issued_this_cycle else time
+            for c in range(first_stall, next_time):
+                trace_obj.events.append(
+                    _stall_event(
+                        c,
+                        stream,
+                        head,
+                        graph,
+                        completion,
+                        position,
+                        barriers,
+                        barrier_release,
+                        ready_time,
+                        window_occupancy(),
+                    )
+                )
+        time = next_time
         guard += 1
         if guard > max_guard:  # pragma: no cover - defensive
             raise SimulationDeadlock("simulation failed to converge")
@@ -192,7 +302,115 @@ def simulate_window(
         stalls = max(starts.values()) + 1 - len(issue_cycles)
     else:
         stalls = 0
-    return SimResult(schedule=schedule, issue_order=issue_order, stall_cycles=stalls)
+    if trace_obj is not None:
+        obs.publish_sim_trace(trace_obj)
+    return SimResult(
+        schedule=schedule,
+        issue_order=issue_order,
+        stall_cycles=stalls,
+        trace=trace_obj,
+    )
+
+
+def _stall_event(
+    cycle: int,
+    stream: Sequence[str],
+    head: int,
+    graph: DependenceGraph,
+    completion: Mapping[str, int],
+    position: Mapping[str, int],
+    barriers: Mapping[int, int],
+    barrier_release: Mapping[int, int | None],
+    ready_time,
+    occupancy: int,
+) -> SimEvent:
+    """Classify one no-issue cycle: barrier wait, dependence latency,
+    unissued predecessor, or resource conflict (best-effort attribution
+    against the head-of-window instruction; :mod:`repro.sim.explain` does
+    exact post-hoc attribution)."""
+    node = stream[head]
+    pos = position[node]
+    for b, penalty in barriers.items():
+        if pos < b:
+            continue
+        release = barrier_release[b]
+        if release is None or release + penalty > cycle:
+            detail = (
+                f"window flushed: {node} waits on barrier at stream "
+                f"position {b}"
+                + ("" if release is None else f" (releases {release}+{penalty})")
+            )
+            return SimEvent(
+                cycle=cycle,
+                kind="barrier_wait",
+                node=node,
+                head=head,
+                occupancy=occupancy,
+                detail=detail,
+            )
+    missing = [p for p in graph.predecessors(node) if p not in completion]
+    if missing:
+        blocker = max(missing, key=lambda p: position[p])
+        detail = f"{node} waits on unissued predecessor {blocker}"
+    else:
+        rt = ready_time(node)
+        if rt is not None and rt > cycle:
+            blocker, lat = max(
+                graph.predecessors(node).items(),
+                key=lambda kv: completion[kv[0]] + kv[1],
+            )
+            detail = (
+                f"{node} waits on {blocker} "
+                f"(completes {completion[blocker]}, latency {lat})"
+            )
+        else:
+            detail = f"{node} ready but no free {graph.fu_class(node)} unit"
+    return SimEvent(
+        cycle=cycle,
+        kind="stall",
+        node=node,
+        head=head,
+        occupancy=occupancy,
+        detail=detail,
+    )
+
+
+def _deadlock(
+    graph: DependenceGraph,
+    stream: Sequence[str],
+    head: int,
+    w: int,
+    n: int,
+    completion: Mapping[str, int],
+    position: Mapping[str, int],
+    time: int,
+) -> SimulationDeadlock:
+    """Build a diagnostic deadlock exception naming the blocked head
+    instruction, its unmet dependence, and the current window span."""
+    node = stream[head]
+    window_end = min(head + w, n)
+    missing = [p for p in graph.predecessors(node) if p not in completion]
+    blocker = max(missing, key=lambda p: position[p]) if missing else None
+    if blocker is not None:
+        where = (
+            "beyond the window"
+            if position[blocker] >= window_end
+            else "itself blocked inside the window"
+        )
+        message = (
+            f"simulation deadlock at cycle {time}: '{node}' (stream position "
+            f"{head}) waits on '{blocker}' (stream position "
+            f"{position[blocker]}, {where}); window spans [{head}, "
+            f"{head + w}) — window too small for the stream's dependences"
+        )
+    else:  # pragma: no cover - unreachable for well-formed streams
+        message = (
+            f"simulation deadlock at cycle {time}: no instruction in the "
+            f"window [{head}, {head + w}) can ever become ready"
+        )
+    return SimulationDeadlock(
+        message, node=node, dependence=blocker, window=(head, head + w)
+    )
 
 
 def simulate_trace(
@@ -201,6 +419,8 @@ def simulate_trace(
     machine: MachineModel | None = None,
     mispredicted_blocks: Iterable[int] = (),
     misprediction_penalty: int = 2,
+    collect_trace: bool | None = None,
+    trace_label: str = "",
 ) -> SimResult:
     """Execute a trace given its emitted per-block instruction orders.
 
@@ -224,4 +444,14 @@ def simulate_trace(
         if i in set(mispredicted_blocks) and i > 0:
             barriers[boundary] = misprediction_penalty
         boundary += len(order)
-    return simulate_window(trace.graph, stream, machine, barriers)
+    with obs.span(
+        "sim.trace", blocks=trace.num_blocks, instructions=len(stream)
+    ):
+        return simulate_window(
+            trace.graph,
+            stream,
+            machine,
+            barriers,
+            collect_trace=collect_trace,
+            trace_label=trace_label or "trace execution",
+        )

@@ -1,0 +1,79 @@
+"""Tests for the JSONL and Chrome trace-event exporters."""
+
+import json
+
+from repro import graph_from_edges
+from repro.machine import paper_machine
+from repro.obs import (
+    TraceRecorder,
+    chrome_trace_events,
+    chrome_trace_path,
+    read_jsonl,
+    recording,
+    sim_traces_from_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import simulate_window
+
+
+def _record_run():
+    """A recorder holding one span, one counter and one simulated trace."""
+    g = graph_from_edges([("a", "b", 2), ("a", "c", 0)])
+    with recording(TraceRecorder()) as rec:
+        from repro.obs import count, span
+
+        with span("rank", nodes=3):
+            pass
+        count("merge.relaxations", 2)
+        result = simulate_window(g, ["a", "b", "c"], paper_machine(2))
+    return rec, result
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        rec, result = _record_run()
+        path = write_jsonl(tmp_path / "t.jsonl", rec)
+        records = read_jsonl(path)
+        types = {r["type"] for r in records}
+        assert {"meta", "span", "counter", "sim_trace", "sim"} <= types
+        meta = records[0]
+        assert meta["format"] == "repro-trace"
+
+        rebuilt = sim_traces_from_records(records)
+        assert len(rebuilt) == 1
+        assert rebuilt[0].stall_cycles == result.stall_cycles
+        assert rebuilt[0].issue_count == 3
+        assert rebuilt[0].window_size == 2
+
+    def test_sim_trace_header_carries_stall_count(self, tmp_path):
+        rec, result = _record_run()
+        records = read_jsonl(write_jsonl(tmp_path / "t.jsonl", rec))
+        header = next(r for r in records if r["type"] == "sim_trace")
+        assert header["stall_cycles"] == result.stall_cycles
+        assert header["window_size"] == 2
+
+
+class TestChromeTrace:
+    def test_valid_json_with_expected_phases(self, tmp_path):
+        rec, _ = _record_run()
+        path = write_chrome_trace(tmp_path / "t.chrome.json", rec)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert "X" in phases  # spans + issue slices
+        assert "M" in phases  # thread metadata
+        assert "C" in phases  # occupancy counter
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "rank" in names  # the pipeline span
+        assert {"a", "b", "c"} <= names  # issue slices
+
+    def test_stall_instants_present(self):
+        rec, result = _record_run()
+        events = chrome_trace_events(rec)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == result.stall_cycles
+
+    def test_chrome_trace_path_convention(self):
+        assert chrome_trace_path("run.jsonl").name == "run.chrome.json"
+        assert chrome_trace_path("run").name == "run.chrome.json"

@@ -1,0 +1,93 @@
+"""Tests for the span/counter recorder and its no-op default."""
+
+import contextlib
+
+from repro.obs import (
+    SimTrace,
+    TraceRecorder,
+    count,
+    get_recorder,
+    recording,
+    set_recorder,
+    sim_events_enabled,
+    span,
+)
+
+
+class TestOffByDefault:
+    def test_no_recorder_installed(self):
+        assert get_recorder() is None
+        assert not sim_events_enabled()
+
+    def test_span_is_shared_noop_context(self):
+        s1 = span("rank", nodes=3)
+        s2 = span("merge")
+        assert s1 is s2  # shared null context — zero allocation when off
+        with s1:
+            pass
+
+    def test_count_is_noop(self):
+        count("anything", 5)  # must not raise
+
+
+class TestRecording:
+    def test_spans_collected_with_attrs_and_depth(self):
+        with recording() as rec:
+            with span("outer", blocks=2):
+                with span("inner"):
+                    pass
+        names = [s.name for s in rec.spans]
+        assert names == ["inner", "outer"]  # completion order
+        inner, outer = rec.spans
+        assert outer.depth == 0 and inner.depth == 1
+        assert outer.attrs == {"blocks": 2}
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+    def test_counters_accumulate(self):
+        with recording() as rec:
+            count("x")
+            count("x", 4)
+            count("y", 2)
+        assert rec.counters == {"x": 5, "y": 2}
+
+    def test_previous_recorder_restored(self):
+        outer = TraceRecorder()
+        set_recorder(outer)
+        try:
+            with recording() as inner:
+                assert get_recorder() is inner
+            assert get_recorder() is outer
+        finally:
+            set_recorder(None)
+        assert get_recorder() is None
+
+    def test_restored_even_on_exception(self):
+        with contextlib.suppress(ValueError):
+            with recording():
+                raise ValueError("boom")
+        assert get_recorder() is None
+
+    def test_sim_events_toggle(self):
+        with recording(TraceRecorder(sim_events=False)):
+            assert not sim_events_enabled()
+        with recording():
+            assert sim_events_enabled()
+
+    def test_phase_walltimes_and_span_stats(self):
+        with recording() as rec:
+            for _ in range(3):
+                with span("rank"):
+                    pass
+            with span("merge"):
+                pass
+        stats = rec.span_stats()
+        assert stats["rank"][0] == 3 and stats["merge"][0] == 1
+        walltimes = rec.phase_walltimes()
+        assert set(walltimes) == {"rank", "merge"}
+        assert all(v >= 0 for v in walltimes.values())
+
+    def test_sim_trace_collection(self):
+        with recording() as rec:
+            trace = SimTrace(window_size=4, num_instructions=0)
+            rec.add_sim_trace(trace)
+        assert rec.sim_traces == [trace]

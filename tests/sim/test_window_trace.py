@@ -1,0 +1,139 @@
+"""Cycle-level event tracing of the window simulator: stall accounting on
+hand-built streams with known stall counts (including the barrier-penalty
+path), window-advance accounting, and deadlock diagnostics."""
+
+import pytest
+
+from repro import graph_from_edges, parse_trace
+from repro.machine import paper_machine
+from repro.obs import TraceRecorder, recording
+from repro.sim import SimulationDeadlock, simulate_trace, simulate_window
+
+TWO_BLOCK = """
+block top
+  a op=li  defs=r1 lat=1
+  b op=li  defs=r2 lat=1
+  c op=mul defs=r3 uses=r1,r2 lat=4
+block bottom
+  d op=add defs=r4 uses=r3 lat=1
+"""
+
+
+class TestStallAccounting:
+    def test_latency_chain_known_stalls(self):
+        # a completes at 1; b ready at 1+2=3 -> stalls at cycles 1 and 2.
+        g = graph_from_edges([("a", "b", 2)])
+        r = simulate_window(g, ["a", "b"], paper_machine(2), collect_trace=True)
+        assert r.stall_cycles == 2
+        assert r.trace is not None
+        assert r.trace.stall_cycles == 2
+        stall_cycles = sorted(
+            e.cycle for e in r.trace.events if e.kind == "stall"
+        )
+        assert stall_cycles == [1, 2]
+
+    def test_no_stalls_on_independent_stream(self):
+        g = graph_from_edges([], nodes=["a", "b", "c"])
+        r = simulate_window(g, ["a", "b", "c"], paper_machine(3), collect_trace=True)
+        assert r.stall_cycles == 0
+        assert r.trace.stall_cycles == 0
+        assert r.trace.issue_count == 3
+
+    def test_trace_matches_result_on_two_block_trace(self):
+        t = parse_trace(TWO_BLOCK)
+        r = simulate_trace(
+            t, [["a", "b", "c"], ["d"]], paper_machine(2), collect_trace=True
+        )
+        assert r.trace.stall_cycles == r.stall_cycles
+        # Every stall event names the instruction it blames.
+        assert all(
+            e.node for e in r.trace.events if e.kind in ("stall", "barrier_wait")
+        )
+
+    def test_barrier_penalty_path(self):
+        # Mispredicted entry to block 1: d may not issue until a, b, c have
+        # completed (cycle 4, c's mul finishing) plus 3 penalty cycles -> d
+        # issues at max(8, ready) with barrier_wait stalls in between.
+        t = parse_trace(TWO_BLOCK)
+        r = simulate_trace(
+            t,
+            [["a", "b", "c"], ["d"]],
+            paper_machine(2),
+            mispredicted_blocks=[1],
+            misprediction_penalty=3,
+            collect_trace=True,
+        )
+        assert r.trace.stall_cycles == r.stall_cycles
+        kinds = r.trace.counts()
+        assert kinds.get("barrier_wait", 0) > 0
+        assert kinds.get("barrier_release", 0) == 1
+        # Barrier stalls + ordinary stalls partition the stalled cycles.
+        assert (
+            r.trace.barrier_stall_cycles < r.trace.stall_cycles
+            or r.trace.barrier_stall_cycles == r.trace.stall_cycles
+        )
+
+    def test_trace_off_by_default(self):
+        g = graph_from_edges([("a", "b", 2)])
+        r = simulate_window(g, ["a", "b"], paper_machine(2))
+        assert r.trace is None
+
+    def test_recorder_enables_and_receives_trace(self):
+        g = graph_from_edges([("a", "b", 2)])
+        with recording(TraceRecorder()) as rec:
+            r = simulate_window(g, ["a", "b"], paper_machine(2))
+        assert r.trace is not None
+        assert rec.sim_traces == [r.trace]
+
+    def test_explicit_false_overrides_recorder(self):
+        g = graph_from_edges([("a", "b", 2)])
+        with recording(TraceRecorder()) as rec:
+            r = simulate_window(
+                g, ["a", "b"], paper_machine(2), collect_trace=False
+            )
+        assert r.trace is None
+        assert rec.sim_traces == []
+
+
+class TestWindowAdvanceAccounting:
+    def test_heads_monotone_and_reach_stream_end(self):
+        t = parse_trace(TWO_BLOCK)
+        r = simulate_trace(
+            t, [["a", "b", "c"], ["d"]], paper_machine(2), collect_trace=True
+        )
+        heads = [e.head for e in r.trace.events if e.kind == "window_advance"]
+        assert heads == sorted(heads)
+        assert heads[-1] == 4  # head walked off the 4-instruction stream
+
+    def test_occupancy_bounded_by_window(self):
+        t = parse_trace(TWO_BLOCK)
+        r = simulate_trace(
+            t, [["a", "b", "c"], ["d"]], paper_machine(2), collect_trace=True
+        )
+        occs = [
+            e.occupancy for e in r.trace.events if e.occupancy is not None
+        ]
+        assert occs and all(0 <= o <= 2 for o in occs)
+
+
+class TestDeadlockDiagnostics:
+    def test_reports_node_dependence_and_window(self):
+        g = graph_from_edges([("a", "b", 0)])
+        with pytest.raises(SimulationDeadlock) as exc_info:
+            simulate_window(g, ["b", "a"], paper_machine(1))
+        exc = exc_info.value
+        assert exc.node == "b"
+        assert exc.dependence == "a"
+        assert exc.window == (0, 1)
+        message = str(exc)
+        assert "'b'" in message and "'a'" in message
+        assert "[0, 1)" in message
+
+    def test_deadlock_event_published_to_recorder(self):
+        g = graph_from_edges([("a", "b", 0)])
+        with recording(TraceRecorder()) as rec:
+            with pytest.raises(SimulationDeadlock):
+                simulate_window(g, ["b", "a"], paper_machine(1))
+        assert len(rec.sim_traces) == 1
+        kinds = rec.sim_traces[0].counts()
+        assert kinds.get("deadlock") == 1

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -78,6 +80,51 @@ class TestLoop:
     def test_rejects_multiblock(self, prog, capsys):
         assert main(["loop", prog]) == 2
         assert "single-block" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestTrace:
+    def test_schedule_with_trace_writes_jsonl_and_chrome(
+        self, prog, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["schedule", prog, "-w", "2", "--trace", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "trace: wrote" in out
+        chrome = tmp_path / "run.chrome.json"
+        assert jsonl.exists() and chrome.exists()
+
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"rank", "merge", "delay_idle_slots", "chop"} <= span_names
+        sim_kinds = {r["kind"] for r in records if r["type"] == "sim"}
+        assert "issue" in sim_kinds and "stall" in sim_kinds
+
+        json.loads(chrome.read_text())  # valid Chrome trace JSON
+
+    def test_trace_subcommand_replays_timeline(self, prog, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["schedule", prog, "-w", "2", "--trace", str(jsonl)]) == 0
+        sched_out = capsys.readouterr().out
+        stalls = int(sched_out.split("stalls: ")[1].split(",")[0])
+
+        assert main(["trace", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out and "issue" in out
+        assert f"{stalls} stall cycles" in out
+
+    def test_trace_subcommand_rejects_non_trace_file(self, prog, capsys):
+        assert main(["trace", prog]) == 2
+        assert "not a repro trace" in capsys.readouterr().err
 
 
 class TestDot:
