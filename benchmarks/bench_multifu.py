@@ -8,7 +8,7 @@ is valid; anticipatory is competitive (within a small factor of the best
 local baseline on every instance, better or equal in geomean).
 """
 
-from common import emit_table
+from common import emit_table, run_sweep
 
 from repro.analysis import geometric_mean
 from repro.core import algorithm_lookahead
@@ -38,23 +38,28 @@ def make_trace(seed: int):
     )
 
 
+def run_seed(seed: int) -> dict:
+    m = RS6000_LIKE
+    t = make_trace(seed)
+    spans = {}
+    spans["source"] = simulate_trace(
+        t, block_orders_with_priority(t, source_order_priority, m), m
+    ).makespan
+    spans["crit-path"] = simulate_trace(
+        t, block_orders_with_priority(t, critical_path_priority, m), m
+    ).makespan
+    res = algorithm_lookahead(t, m)
+    sim = simulate_trace(t, res.block_orders, m)
+    sim.schedule.validate()
+    spans["anticipatory"] = sim.makespan
+    return spans
+
+
 def test_multifu_heuristics(benchmark):
     m = RS6000_LIKE
     rows = []
     ratios_vs_cp = []
-    for seed in range(TRIALS):
-        t = make_trace(seed)
-        spans = {}
-        spans["source"] = simulate_trace(
-            t, block_orders_with_priority(t, source_order_priority, m), m
-        ).makespan
-        spans["crit-path"] = simulate_trace(
-            t, block_orders_with_priority(t, critical_path_priority, m), m
-        ).makespan
-        res = algorithm_lookahead(t, m)
-        sim = simulate_trace(t, res.block_orders, m)
-        sim.schedule.validate()
-        spans["anticipatory"] = sim.makespan
+    for seed, spans in enumerate(run_sweep(run_seed, list(range(TRIALS)))):
         rows.append([seed, spans["source"], spans["crit-path"], spans["anticipatory"]])
         ratios_vs_cp.append(spans["crit-path"] / spans["anticipatory"])
         assert spans["anticipatory"] <= spans["crit-path"] * 1.25

@@ -8,7 +8,7 @@ bound is a lower envelope on every completion time.
 """
 
 import pytest
-from common import emit_table
+from common import emit_table, run_sweep
 
 from repro.analysis import gap_recovered, geometric_mean
 from repro.core import algorithm_lookahead, local_block_orders
@@ -61,15 +61,15 @@ def run_cell(window: int, cross: float):
 def test_trace_sweep(benchmark):
     rows = []
     ant_advantage_by_window = {}
-    for w in WINDOWS:
-        for cross in CROSS:
-            src_s, local_s, ant_s, recs = run_cell(w, cross)
-            local_speed = geometric_mean([s / l for s, l in zip(src_s, local_s)])
-            ant_speed = geometric_mean([s / a for s, a in zip(src_s, ant_s)])
-            rows.append(
-                [w, cross, local_speed, ant_speed, sum(recs) / len(recs)]
-            )
-            ant_advantage_by_window.setdefault(w, []).append(ant_speed / local_speed)
+    grid = [(w, cross) for w in WINDOWS for cross in CROSS]
+    for (w, cross), cell in zip(grid, run_sweep(run_cell, grid)):
+        src_s, local_s, ant_s, recs = cell
+        local_speed = geometric_mean([s / l for s, l in zip(src_s, local_s)])
+        ant_speed = geometric_mean([s / a for s, a in zip(src_s, ant_s)])
+        rows.append(
+            [w, cross, local_speed, ant_speed, sum(recs) / len(recs)]
+        )
+        ant_advantage_by_window.setdefault(w, []).append(ant_speed / local_speed)
 
     emit_table(
         "E5_trace_sweep",

@@ -8,7 +8,7 @@ hardware (quadratic dependence-check cost) because modest windows already
 capture most of the benefit when schedules anticipate them.
 """
 
-from common import emit_table
+from common import emit_table, run_sweep
 
 from repro.analysis import overlap_cycles
 from repro.core import algorithm_lookahead
@@ -31,19 +31,26 @@ def make_trace(seed: int):
     )
 
 
+def run_window(w: int) -> tuple[int, int]:
+    m = paper_machine(w)
+    total = overlap = 0
+    for seed in range(TRIALS):
+        t = make_trace(seed)
+        # Schedule *for* this window, execute *on* this window.
+        orders = algorithm_lookahead(t, m).block_orders
+        sim = simulate_trace(t, orders, m)
+        total += sim.makespan
+        overlap += overlap_cycles(t, sim.schedule)
+    return total, overlap
+
+
 def test_window_sweep(benchmark):
     rows = []
-    totals = {w: 0 for w in WINDOWS}
-    overlaps = {w: 0 for w in WINDOWS}
-    for w in WINDOWS:
-        m = paper_machine(w)
-        for seed in range(TRIALS):
-            t = make_trace(seed)
-            # Schedule *for* this window, execute *on* this window.
-            orders = algorithm_lookahead(t, m).block_orders
-            sim = simulate_trace(t, orders, m)
-            totals[w] += sim.makespan
-            overlaps[w] += overlap_cycles(t, sim.schedule)
+    totals = {}
+    overlaps = {}
+    for w, (total, overlap) in zip(WINDOWS, run_sweep(run_window, list(WINDOWS))):
+        totals[w] = total
+        overlaps[w] = overlap
         rows.append(
             [
                 w,

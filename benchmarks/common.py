@@ -15,8 +15,11 @@ scraping tables.
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 import pathlib
-from typing import Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis import format_table
 from repro.obs import TraceRecorder, recording
@@ -67,3 +70,38 @@ def phase_walltimes(fn) -> dict[str, float]:
     with recording(TraceRecorder(sim_events=False)) as rec:
         fn()
     return rec.phase_walltimes()
+
+
+def sweep_jobs() -> int:
+    """Worker-process count for :func:`run_sweep`: the ``--jobs`` pytest
+    option (exported as ``REPRO_JOBS`` by ``conftest.py``), default 1."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_sweep(
+    fn: Callable, params: Sequence[object], jobs: int | None = None
+) -> list:
+    """Map ``fn`` over ``params`` — the independent cells of an experiment
+    sweep — returning results in input order.
+
+    Each element of ``params`` is an argument tuple for ``fn`` (bare values
+    are treated as 1-tuples).  With ``jobs`` (default :func:`sweep_jobs`)
+    greater than one the cells fan out over a fork-based process pool, so
+    ``fn`` must be a module-level callable; cells must not depend on shared
+    mutable state.  Exceptions propagate to the caller either way, so shape
+    assertions inside ``fn`` still fail the benchmark.
+    """
+    calls = [p if isinstance(p, tuple) else (p,) for p in params]
+    if jobs is None:
+        jobs = sweep_jobs()
+    jobs = max(1, min(jobs, len(calls)))
+    if jobs == 1:
+        return [fn(*args) for args in calls]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+        futures = [pool.submit(fn, *args) for args in calls]
+        return [f.result() for f in futures]

@@ -1,0 +1,23 @@
+"""Benchmark-harness pytest hooks.
+
+Adds ``--jobs N`` so the E5-E11 sweeps fan their independent cells out over
+``N`` worker processes (see :func:`common.run_sweep`).  The value is exported
+as ``REPRO_JOBS`` so worker helpers and ad-hoc scripts see the same knob.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for benchmark sweeps (default: REPRO_JOBS or 1)",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs", default=None)
+    if jobs:
+        os.environ["REPRO_JOBS"] = str(jobs)

@@ -105,7 +105,26 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 def cmd_ranks(args: argparse.Namespace) -> int:
     trace = _load_trace(args.file)
     deadlines = {n: args.deadline for n in trace.graph.nodes}
-    ranks = compute_ranks(trace.graph, deadlines, _machine(args))
+    for item in (args.deadlines or "").split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, value = item.partition("=")
+        if not sep or not name.strip():
+            print(f"error: malformed --deadlines entry {item!r} "
+                  "(expected name=int)", file=sys.stderr)
+            return 2
+        try:
+            deadlines[name.strip()] = int(value)
+        except ValueError:
+            print(f"error: malformed --deadlines entry {item!r} "
+                  "(expected name=int)", file=sys.stderr)
+            return 2
+    try:
+        ranks = compute_ranks(trace.graph, deadlines, _machine(args))
+    except ValueError as exc:  # unknown instruction names, from fill_deadlines
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = [
         [n, trace.blocks[trace.block_index(n)].name, ranks[n]]
         for n in sorted(trace.graph.nodes, key=lambda n: ranks[n])
@@ -254,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("ranks", help="print Rank-Algorithm ranks")
+    p.add_argument(
+        "--deadlines",
+        metavar="NAME=INT[,NAME=INT...]",
+        help="per-instruction deadline overrides (unknown names are an error)",
+    )
     common(p)
     p.add_argument("--deadline", type=int, default=100)
     p.set_defaults(func=cmd_ranks)

@@ -38,8 +38,9 @@ from .loops import (
     single_sink_transform,
     single_source_transform,
 )
-from .merge import MergeResult, merge
+from .merge import MergeCarry, MergeResult, merge
 from .rank import (
+    RankEngine,
     compute_ranks,
     default_deadline,
     fill_deadlines,
@@ -68,7 +69,9 @@ __all__ = [
     "LoopCandidate",
     "LoopScheduleResult",
     "LoopTraceResult",
+    "MergeCarry",
     "MergeResult",
+    "RankEngine",
     "SINGLE_UNIT",
     "Schedule",
     "ScheduleError",

@@ -32,7 +32,13 @@ from dataclasses import dataclass
 
 from ..machine.model import MachineModel, single_unit_machine
 from ..obs import recorder as obs
-from .rank import compute_ranks, fill_deadlines, rank_schedule
+from .rank import (
+    RankEngine,
+    compute_ranks,
+    default_deadline,
+    fill_deadlines,
+    rank_schedule,
+)
 from .schedule import SINGLE_UNIT, Schedule, Unit
 
 
@@ -54,6 +60,7 @@ def move_idle_slot(
     index: int,
     machine: MachineModel | None = None,
     unit: Unit = SINGLE_UNIT,
+    engine: RankEngine | None = None,
 ) -> IdleMoveResult:
     """Try to delay the ``index``-th (0-based, by time) idle slot on ``unit``.
 
@@ -61,6 +68,13 @@ def move_idle_slot(
     (with σᵢ deadline clamps retained) on failure.  ``deadlines`` must cover
     every node (see :func:`repro.core.rank.fill_deadlines`); it is not
     mutated — updated copies are returned.
+
+    ``engine`` is the incremental fast path: a :class:`RankEngine` whose
+    deadline state equals ``deadlines`` on entry.  Each trial then updates
+    ranks only for the changed node and its ancestors instead of running two
+    full rank computations; on exit the engine's state equals the returned
+    deadline map (tail reductions rolled back on failure, clamps kept).
+    Results are bit-identical with and without an engine.
     """
     machine = machine or single_unit_machine()
     graph = schedule.graph
@@ -77,18 +91,31 @@ def move_idle_slot(
             clamped[n] = min(clamped[n], t_i)
     # (Nodes starting at prev_t + 0 == 0 when index == 0 are covered by
     # prev_t = -1; an idle slot itself never holds a node.)
+    if engine is not None:
+        engine.set_deadlines(clamped)
 
     current = schedule
     trial = dict(clamped)
+    reduced: dict[str, int] = {}  # tail -> pre-reduction (clamped) deadline
     for _ in range(len(graph) + 1):
         tail = current.tail_node(t_i, unit)
         if tail is None:
             break  # nothing ends at the slot: cannot push it later
-        ranks = compute_ranks(graph, trial, machine)
+        obs.count("idle.trials")
+        ranks = engine.ranks if engine is not None else compute_ranks(
+            graph, trial, machine
+        )
         if ranks[tail] < t_i:
             break  # paper's guard: no node in σᵢ can still complete at tᵢ
+        reduced.setdefault(tail, trial[tail])
         trial[tail] = t_i - 1
-        new_sched, _ = rank_schedule(graph, trial, machine)
+        if engine is not None:
+            engine.set_deadlines({tail: t_i - 1})
+            new_sched, _ = rank_schedule(
+                graph, trial, machine, ranks=engine.ranks
+            )
+        else:
+            new_sched, _ = rank_schedule(graph, trial, machine)
         if new_sched is None:
             break  # rank_alg cannot meet all deadlines
         new_times = new_sched.idle_times(unit)
@@ -101,6 +128,8 @@ def move_idle_slot(
             break  # defensive: should not happen given the clamps
         current = new_sched  # same position, different arrangement: retry
     # Failure: undo the tail reductions, keep the clamps, return input.
+    if engine is not None and reduced:
+        engine.set_deadlines(reduced)
     return IdleMoveResult(schedule, clamped, t_i, False)
 
 
@@ -109,11 +138,20 @@ def delay_idle_slots(
     deadlines: dict[str, int] | None = None,
     machine: MachineModel | None = None,
     unit: Unit = SINGLE_UNIT,
+    engine: RankEngine | None = None,
+    incremental: bool = True,
 ) -> tuple[Schedule, dict[str, int]]:
     """Procedure Delay_Idle_Slots (Fig. 6): process idle slots earliest to
     latest, repeatedly delaying each one until it no longer moves.
 
     Returns the final schedule and the finalized deadline map.
+
+    ``engine`` optionally carries incremental rank state whose deadlines
+    equal the filled ``deadlines`` on entry (its state tracks the returned
+    map on exit); with ``engine=None`` and ``incremental=True`` (default) a
+    fresh engine is built with a single from-scratch rank computation.
+    ``incremental=False`` forces the original two-full-recomputations-per-
+    trial path — the oracle the fast path is fuzzed against.
     """
     machine = machine or single_unit_machine()
     d = fill_deadlines(schedule.graph, deadlines)
@@ -121,6 +159,8 @@ def delay_idle_slots(
         return schedule, d  # nothing runs on this unit: nothing to delay
     if not schedule.idle_times(unit):
         return schedule, d
+    if engine is None and incremental:
+        engine = RankEngine(schedule.graph, d, machine)
     with obs.span(
         "delay_idle_slots",
         unit=f"{unit[0]}{unit[1]}",
@@ -128,7 +168,7 @@ def delay_idle_slots(
     ):
         index = 0
         while index < len(schedule.idle_times(unit)):
-            result = move_idle_slot(schedule, d, index, machine, unit)
+            result = move_idle_slot(schedule, d, index, machine, unit, engine)
             schedule, d = result.schedule, result.deadlines
             if result.moved:
                 obs.count("idle.slots_moved")
@@ -156,7 +196,15 @@ def schedule_block_with_late_idle_slots(
     slots").  This is the per-block form of anticipatory scheduling used when
     no trace or loop information is available (paper §1)."""
     machine = machine or single_unit_machine()
-    sched, _ = rank_schedule(graph, None, machine)
+    sched, ranks = rank_schedule(graph, None, machine)
     assert sched is not None  # unconstrained scheduling cannot miss deadlines
     d = makespan_deadlines(sched)
-    return delay_idle_slots(sched, d, machine, unit)
+    # Reducing every deadline to the makespan is a uniform shift, which
+    # commutes with ranks — seed the engine for free from the ranks we have.
+    engine = None
+    if graph.nodes:
+        delta = sched.makespan - default_deadline(graph)
+        engine = RankEngine(
+            graph, d, machine, ranks={n: r + delta for n, r in ranks.items()}
+        )
+    return delay_idle_slots(sched, d, machine, unit, engine=engine)

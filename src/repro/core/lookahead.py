@@ -40,7 +40,7 @@ from ..machine.model import MachineModel, single_unit_machine
 from ..obs import recorder as obs
 from .chop import chop
 from .idle import delay_idle_slots
-from .merge import MergeResult, merge
+from .merge import MergeCarry, MergeResult, merge
 from .schedule import Schedule
 
 
@@ -71,6 +71,9 @@ class LookaheadResult:
     block_orders: list[list[str]]
     predicted_makespan: int
     steps: list[LookaheadStep] = field(default_factory=list)
+    _final_suffix_order: list[str] = field(
+        init=False, repr=False, default_factory=list
+    )
 
     @property
     def priority_list(self) -> list[str]:
@@ -86,13 +89,12 @@ class LookaheadResult:
         out.extend(self._final_suffix_order)
         return out
 
-    _final_suffix_order: list[str] = field(default_factory=list)
-
 
 def algorithm_lookahead(
     trace: Trace,
     machine: MachineModel | None = None,
     delay_idles: bool = True,
+    incremental: bool = True,
 ) -> LookaheadResult:
     """Run Algorithm Lookahead on ``trace`` for ``machine`` (its
     ``window_size`` is the W of the paper).
@@ -100,6 +102,12 @@ def algorithm_lookahead(
     ``delay_idles=False`` disables the Delay_Idle_Slots step — an ablation
     switch for measuring the contribution of the paper's key idea (the merge
     deadline discipline remains active).
+
+    ``incremental=False`` disables the :class:`~repro.core.rank.RankEngine`
+    fast path everywhere (merge lower bound, merge relaxation loop, idle-slot
+    trials), falling back to from-scratch rank computations.  Output is
+    bit-identical either way; the flag exists as the oracle for fuzz tests
+    and as an escape hatch.
     """
     machine = machine or single_unit_machine()
     window = machine.window_size
@@ -110,6 +118,7 @@ def algorithm_lookahead(
     steps: list[LookaheadStep] = []
     offset = 0
     suffix: Schedule | None = None
+    carry = MergeCarry(machine=machine) if incremental else None
 
     with obs.span("lookahead", blocks=trace.num_blocks, window=window):
         for bb in trace.blocks:
@@ -122,14 +131,22 @@ def algorithm_lookahead(
                     old_makespan,
                     new_nodes,
                     machine,
+                    carry=carry,
                 )
                 delayed, deadlines = merged.schedule, merged.deadlines
                 if delay_idles:
                     for unit in machine.unit_names():
                         delayed, deadlines = delay_idle_slots(
-                            delayed, deadlines, machine, unit=unit
+                            delayed,
+                            deadlines,
+                            machine,
+                            unit=unit,
+                            engine=merged.engine,
+                            incremental=incremental,
                         )
                 result = chop(delayed, deadlines, window)
+                if carry is not None:
+                    carry.shift = result.shift
                 steps.append(
                     LookaheadStep(
                         block=bb.name,

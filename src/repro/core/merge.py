@@ -18,18 +18,49 @@ instructions — they never displace them.  This is enforced with deadlines:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..ir.depgraph import DependenceGraph
 from ..machine.model import MachineModel, single_unit_machine
 from ..obs import recorder as obs
 from .rank import (
+    RankEngine,
+    default_deadline,
+    list_schedule,
     minimum_makespan_schedule,
+    rank_priority_list,
     rank_schedule,
     rank_schedule_lenient,
 )
 from .schedule import Schedule
+
+
+@dataclass
+class MergeCarry:
+    """Incremental rank state threaded across Algorithm Lookahead's block
+    loop (owned and mutated by :func:`merge`).
+
+    Two engine chains survive from one merged graph to the next, both
+    justified by the suffix being descendant-closed (chop only ever commits
+    a prefix — no retained node depends on a committed one) and by ranks
+    commuting with uniform deadline shifts:
+
+    - ``uniform`` — ranks under the uniform artificial deadline
+      ``uniform_value``, used for the merge lower-bound pass; on carry, old
+      nodes shift by the difference of the artificial deadlines and only the
+      new block's nodes (plus their ancestors through cross edges) re-rank;
+    - ``constrained`` — ranks under the working deadline map as left by
+      Delay_Idle_Slots; on carry, old nodes shift by the chop ``shift``.
+    """
+
+    machine: MachineModel
+    uniform: RankEngine | None = None
+    uniform_value: int = 0
+    constrained: RankEngine | None = None
+    #: Chop shift accumulated since the constrained engine's state (set by
+    #: the caller between merges, consumed by the next merge).
+    shift: int = 0
 
 
 @dataclass
@@ -46,6 +77,10 @@ class MergeResult:
     #: False when even the fallback deadline failed and a lenient best-effort
     #: schedule was accepted (only possible in heuristic machine models).
     feasible: bool
+    #: Rank engine whose state matches ``deadlines`` over the merged graph —
+    #: populated when a :class:`MergeCarry` was supplied, for reuse by the
+    #: idle-slot delaying that follows.
+    engine: RankEngine | None = field(default=None, repr=False, compare=False)
 
 
 def merge(
@@ -55,12 +90,17 @@ def merge(
     old_makespan: int,
     new_nodes: Iterable[str],
     machine: MachineModel | None = None,
+    carry: MergeCarry | None = None,
 ) -> MergeResult:
     """Run Procedure Merge on ``old ∪ new`` within ``trace_graph``.
 
     ``trace_graph`` supplies the dependence edges (including the cross-block
     edges from old to new); ``old_deadlines`` are the deadlines carried by the
     old suffix (already shifted by chop); ``old_makespan`` is T_old.
+
+    ``carry`` enables the incremental fast path: rank state is reused from
+    the previous merge (see :class:`MergeCarry`) and updated in place for
+    the next one; results are bit-identical with and without it.
     """
     machine = machine or single_unit_machine()
     old_list = list(old_nodes)
@@ -70,7 +110,7 @@ def merge(
         raise ValueError(f"old and new overlap: {sorted(overlap)}")
     with obs.span("merge", old=len(old_list), new=len(new_list)):
         result = _merge(trace_graph, old_list, new_list, old_deadlines,
-                        old_makespan, machine)
+                        old_makespan, machine, carry)
     obs.count("merge.relaxations", result.relaxations)
     return result
 
@@ -82,11 +122,26 @@ def _merge(
     old_deadlines: Mapping[str, int],
     old_makespan: int,
     machine: MachineModel,
+    carry: MergeCarry | None = None,
 ) -> MergeResult:
     cur = trace_graph.subgraph(old_list + new_list)
 
     # Pass 1: lower bound with the artificial deadline only.
-    lower = minimum_makespan_schedule(cur, machine).makespan
+    if carry is not None:
+        artificial = default_deadline(cur)
+        if carry.uniform is None:
+            carry.uniform = RankEngine(cur, None, machine)
+        else:
+            carry.uniform = carry.uniform.carried_into(
+                cur, shift=artificial - carry.uniform_value, fill=artificial
+            )
+        carry.uniform_value = artificial
+        unconstrained = list_schedule(
+            cur, rank_priority_list(cur, carry.uniform.ranks), machine
+        )
+        lower = unconstrained.makespan
+    else:
+        lower = minimum_makespan_schedule(cur, machine).makespan
 
     deadlines: dict[str, int] = {}
     for w in old_list:
@@ -95,28 +150,52 @@ def _merge(
     for w in new_list:
         deadlines[w] = new_deadline
 
+    engine: RankEngine | None = None
+    if carry is not None:
+        if carry.constrained is None:
+            engine = RankEngine(cur, deadlines, machine)
+        else:
+            # Old nodes carry their post-delay deadlines shifted by chop;
+            # set_deadlines then applies only the (rare) binding T_old
+            # clamps as an incremental diff.
+            engine = carry.constrained.carried_into(
+                cur, shift=-carry.shift, fill=new_deadline
+            )
+            engine.set_deadlines(deadlines)
+        carry.constrained = engine
+        carry.shift = 0
+
     # A deadline that is always sufficient in the optimal regime: schedule old
     # alone (feasible by construction of its deadlines), then new strictly
-    # after, separated by the largest latency in the graph.
-    max_lat = max((lat for _, _, lat in cur.edges()), default=0)
-    new_alone = (
-        minimum_makespan_schedule(cur.subgraph(new_list), machine).makespan
-        if new_list
-        else 0
-    )
-    fallback = old_makespan + max_lat + new_alone
+    # after, separated by the largest latency in the graph.  Only needed when
+    # the first attempt fails, so computed lazily.
+    fallback: int | None = None
 
     relaxations = 0
     while True:
-        sched, _ = rank_schedule(cur, deadlines, machine)
+        if engine is not None:
+            sched, _ = rank_schedule(cur, deadlines, machine, ranks=engine.ranks)
+        else:
+            sched, _ = rank_schedule(cur, deadlines, machine)
         if sched is not None:
-            return MergeResult(sched, deadlines, lower, relaxations, True)
+            return MergeResult(sched, deadlines, lower, relaxations, True,
+                               engine=engine)
+        if fallback is None:
+            max_lat = max((lat for _, _, lat in cur.edges()), default=0)
+            new_alone = (
+                minimum_makespan_schedule(cur.subgraph(new_list), machine).makespan
+                if new_list
+                else 0
+            )
+            fallback = old_makespan + max_lat + new_alone
         if new_deadline >= max(fallback, lower) + len(cur):
             break  # heuristic regime: give up on exact deadline search
         new_deadline += 1
         relaxations += 1
         for w in new_list:
             deadlines[w] = new_deadline
+        if engine is not None:
+            engine.set_deadlines({w: new_deadline for w in new_list})
 
     # Best-effort fallback: accept the greedy rank schedule and rewrite the
     # new nodes' deadlines to its completion times so downstream phases see a
@@ -126,4 +205,7 @@ def _merge(
         deadlines[w] = max(deadlines[w], sched.completion(w))
     for w in old_list:
         deadlines[w] = max(deadlines[w], sched.completion(w))
-    return MergeResult(sched, deadlines, lower, relaxations, False)
+    if engine is not None:
+        engine.set_deadlines(deadlines)  # resync after the rewrite
+    return MergeResult(sched, deadlines, lower, relaxations, False,
+                       engine=engine)

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from ..ir.depgraph import DependenceGraph
 from ..ir.instruction import ANY
 from ..machine.model import MachineModel, single_unit_machine
@@ -54,14 +56,23 @@ def fill_deadlines(
 ) -> dict[str, int]:
     """Complete a (possibly partial) deadline map with the artificial large
     deadline for unconstrained nodes (paper: "All nodes are given the same
-    very large number as an artificial deadline")."""
+    very large number as an artificial deadline").
+
+    Raises :class:`ValueError` when ``deadlines`` names nodes that are not in
+    ``graph`` — a typo'd instruction name in a user-supplied deadline map
+    must not be silently ignored.
+    """
     if default is None:
         default = default_deadline(graph)
     out = {n: default for n in graph.nodes}
     if deadlines:
+        unknown = [n for n in deadlines if n not in out]
+        if unknown:
+            raise ValueError(
+                f"deadlines name unknown nodes: {', '.join(sorted(unknown))}"
+            )
         for n, d in deadlines.items():
-            if n in out:
-                out[n] = d
+            out[n] = d
     return out
 
 
@@ -148,6 +159,66 @@ class _BackwardSlots:
         return end  # pragma: no cover - guard generous enough in practice
 
 
+def _unit_exec_single_fu(graph: DependenceGraph, machine: MachineModel) -> bool:
+    """True when the backward schedule can use the inlined capacity-1
+    unit-execution-time fast path (the paper's core regime)."""
+    return machine.is_single_unit and all(
+        graph.exec_time(n) == 1 for n in graph.nodes
+    )
+
+
+def _node_rank(
+    graph: DependenceGraph,
+    machine: MachineModel,
+    x: str,
+    deadline: int,
+    ranks: Mapping[str, int],
+    fast: bool,
+) -> int:
+    """Rank of ``x`` given its deadline and the (already final) ranks of all
+    of its descendants — the single-node step shared by the from-scratch
+    :func:`compute_ranks` sweep and :class:`RankEngine`'s incremental
+    recomputation, so the two paths are identical by construction.
+
+    ``fast`` selects the closed-form backward schedule, valid exactly for
+    single-unit machines with unit execution times (bit-for-bit the same
+    placements as :class:`_BackwardSlots` with capacity 1): placing nodes in
+    nonincreasing rank order, the latest free completion slot ≤ rank(y) is
+    always ``min(rank(y), previous placement − 1)`` — placements are
+    strictly decreasing, and any gap left above the last placement lies
+    above every remaining rank, so no search structure is needed."""
+    descendants = graph.descendants(x)
+    if not descendants:
+        return deadline
+    rank = deadline
+    if fast:
+        succ = graph.successors(x)
+        comp: int | None = None
+        for y in sorted(descendants, key=ranks.__getitem__, reverse=True):
+            r_y = ranks[y]
+            comp = r_y if comp is None or r_y < comp - 1 else comp - 1
+            lat = succ.get(y)
+            if lat is not None:
+                gap = comp - 1 - lat
+                if gap < rank:
+                    rank = gap
+        earliest = comp - 1
+        if earliest < rank:
+            rank = earliest
+        return rank
+    starts: dict[str, int] = {}
+    slots = _BackwardSlots(machine)
+    for y in sorted(descendants, key=ranks.__getitem__, reverse=True):
+        end = slots.place(graph.fu_class(y), graph.exec_time(y), ranks[y])
+        starts[y] = end - graph.exec_time(y)
+    rank = min(rank, min(starts.values()))
+    for y, lat in graph.successors(x).items():
+        gap = starts[y] - lat
+        if gap < rank:
+            rank = gap
+    return rank
+
+
 def compute_ranks(
     graph: DependenceGraph,
     deadlines: Mapping[str, int] | None = None,
@@ -174,21 +245,177 @@ def compute_ranks(
     with obs.span("rank", nodes=len(graph)):
         d = fill_deadlines(graph, deadlines)
         ranks: dict[str, int] = {}
-        order = graph.topological_order()
-        for x in reversed(order):
-            rank = d[x]
-            descendants = graph.descendants(x)
-            if descendants:
-                slots = _BackwardSlots(machine)
-                starts: dict[str, int] = {}
-                for y in sorted(descendants, key=lambda n: ranks[n], reverse=True):
-                    end = slots.place(graph.fu_class(y), graph.exec_time(y), ranks[y])
-                    starts[y] = end - graph.exec_time(y)
-                rank = min(rank, min(starts.values()))
-                for y, lat in graph.successors(x).items():
-                    rank = min(rank, starts[y] - lat)
-            ranks[x] = rank
+        fast = _unit_exec_single_fu(graph, machine)
+        for x in reversed(graph.topological_order()):
+            ranks[x] = _node_rank(graph, machine, x, d[x], ranks, fast)
         return ranks
+
+
+class RankEngine:
+    """Incremental rank maintenance over a fixed graph and machine.
+
+    rank(x) is a function of d(x) and of the ranks of x's descendants alone
+    (see :func:`_node_rank`), so after a deadline change on a node set S only
+    S and its ancestors can change rank — everything else is provably
+    untouched.  The engine keeps the current deadline map and rank map and,
+    on :meth:`set_deadlines`, re-runs the per-node backward schedule only
+    over that affected set, in reverse topological order, additionally
+    skipping any affected node none of whose descendants actually changed
+    rank.  The result is always bit-identical to a from-scratch
+    :func:`compute_ranks` on the current deadlines (fuzzed in
+    ``tests/core/test_rank_fastpath.py``).
+
+    Two further fast paths exploit that ranks commute with uniform deadline
+    shifts (rank(d + c) = rank(d) + c — the placement algorithm is
+    translation invariant): :meth:`shift` adjusts every deadline and rank in
+    O(n), and :meth:`carried_into` transplants the engine onto a *larger*
+    graph (e.g. Procedure Merge's "old suffix ∪ new block" graph), seeding
+    carried nodes with their shifted ranks and sweeping only the new nodes
+    and their ancestors.  Carrying is sound only when the carried node set is
+    descendant-closed in the source graph (every descendant of a carried
+    node was carried too) — true for chop suffixes by construction, since a
+    dependence successor never starts earlier.
+
+    Counters (when an :mod:`repro.obs` recorder is active):
+
+    - ``rank.engine.full`` — from-scratch initializations;
+    - ``rank.engine.updates`` — incremental update calls;
+    - ``rank.engine.reranked`` — nodes whose backward schedule was re-run;
+    - ``rank.engine.reused`` — nodes reused without recomputation.
+    """
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        deadlines: Mapping[str, int] | None = None,
+        machine: MachineModel | None = None,
+        *,
+        ranks: Mapping[str, int] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.machine = machine or single_unit_machine()
+        self._deadlines = fill_deadlines(graph, deadlines)
+        self._fast = _unit_exec_single_fu(graph, self.machine)
+        self._rev_topo = list(reversed(graph.topological_order()))
+        self._idx = {n: i for i, n in enumerate(graph.nodes)}
+        if ranks is not None:
+            # Trusted seed: must equal compute_ranks(graph, deadlines,
+            # machine).  Used to make engine construction free when the
+            # caller just ran the from-scratch path (or shifted it).
+            self._ranks = dict(ranks)
+        else:
+            self._ranks = compute_ranks(graph, self._deadlines, self.machine)
+            obs.count("rank.engine.full")
+
+    @property
+    def deadlines(self) -> dict[str, int]:
+        """The current deadline map (live — treat as read-only)."""
+        return self._deadlines
+
+    @property
+    def ranks(self) -> dict[str, int]:
+        """The current rank map (live — treat as read-only)."""
+        return self._ranks
+
+    def set_deadlines(self, updates: Mapping[str, int]) -> None:
+        """Apply deadline changes and incrementally restore rank
+        consistency.  ``updates`` may cover any subset of the nodes
+        (unchanged entries are ignored); unknown names raise
+        :class:`ValueError` as in :func:`fill_deadlines`."""
+        unknown = [n for n in updates if n not in self._deadlines]
+        if unknown:
+            raise ValueError(
+                f"deadlines name unknown nodes: {', '.join(sorted(unknown))}"
+            )
+        dirty = {
+            n for n, v in updates.items() if self._deadlines[n] != v
+        }
+        for n in dirty:
+            self._deadlines[n] = updates[n]
+        self._update(dirty, frozenset())
+
+    def shift(self, delta: int) -> None:
+        """Uniformly shift every deadline (and hence every rank) by
+        ``delta`` — O(n), no backward scheduling."""
+        if delta == 0:
+            return
+        for n in self._deadlines:
+            self._deadlines[n] += delta
+            self._ranks[n] += delta
+
+    def carried_into(
+        self,
+        graph: DependenceGraph,
+        *,
+        shift: int = 0,
+        fill: int | None = None,
+    ) -> "RankEngine":
+        """A new engine over ``graph``, seeded from this one.
+
+        Nodes shared with this engine carry their deadline and rank shifted
+        by ``shift``; nodes new to ``graph`` get deadline ``fill`` (the
+        artificial default when None) and are recomputed along with their
+        ancestors.  Nodes of this engine absent from ``graph`` are dropped.
+        Sound only when the carried set is descendant-closed in the source
+        graph (see class docstring)."""
+        if fill is None:
+            fill = default_deadline(graph)
+        deadlines: dict[str, int] = {}
+        seed_ranks: dict[str, int] = {}
+        new_nodes: set[str] = set()
+        for n in graph.nodes:
+            old = self._ranks.get(n)
+            if old is not None:
+                deadlines[n] = self._deadlines[n] + shift
+                seed_ranks[n] = old + shift
+            else:
+                deadlines[n] = fill
+                new_nodes.add(n)
+        engine = RankEngine(
+            graph, deadlines, self.machine, ranks=seed_ranks
+        )
+        obs.count("rank.engine.carried")
+        engine._update(frozenset(), new_nodes)
+        return engine
+
+    def _update(self, dirty: set[str] | frozenset, new_nodes: set[str]) -> None:
+        """Recompute ranks for ``dirty ∪ new_nodes`` and their ancestors.
+
+        ``dirty`` nodes changed deadline; ``new_nodes`` have no rank yet and
+        are always treated as changed so their ancestors re-rank."""
+        seeds = dirty | new_nodes
+        if not seeds:
+            obs.count("rank.engine.reused", len(self.graph))
+            return
+        graph = self.graph
+        idx = self._idx
+        n = len(graph)
+        affected = np.zeros(n, dtype=bool)
+        for s in seeds:
+            affected |= graph.ancestor_row(s)
+            affected[idx[s]] = True
+        changed = np.zeros(n, dtype=bool)
+        reranked = 0
+        with obs.span("rank.incremental", nodes=int(affected.sum())):
+            for x in self._rev_topo:
+                i = idx[x]
+                if not affected[i]:
+                    continue
+                if x not in seeds and not bool(
+                    np.any(changed & graph.reachability_row(x))
+                ):
+                    continue  # deadline and all descendant ranks unchanged
+                new_rank = _node_rank(
+                    graph, self.machine, x, self._deadlines[x],
+                    self._ranks, self._fast,
+                )
+                reranked += 1
+                if x in new_nodes or new_rank != self._ranks.get(x):
+                    self._ranks[x] = new_rank
+                    changed[i] = True
+        obs.count("rank.engine.updates")
+        obs.count("rank.engine.reranked", reranked)
+        obs.count("rank.engine.reused", n - reranked)
 
 
 def list_schedule(
@@ -321,6 +548,8 @@ def rank_schedule(
     deadlines: Mapping[str, int] | None = None,
     machine: MachineModel | None = None,
     tie_break: str = "program",
+    *,
+    ranks: Mapping[str, int] | None = None,
 ) -> tuple[Schedule | None, dict[str, int]]:
     """The full Rank Algorithm: ranks → priority list → greedy schedule.
 
@@ -330,10 +559,19 @@ def rank_schedule(
     single unit) the instance is feasible iff the returned schedule is not
     None, and the schedule has minimum makespan among deadline-feasible
     ones.  See :func:`rank_priority_list` for the ``tie_break`` caveat.
+
+    ``ranks`` is the fast path for callers that already hold the ranks of
+    the *current* deadline map (typically a :class:`RankEngine`): the rank
+    computation is skipped entirely.  The caller is responsible for the
+    ranks actually matching ``deadlines`` — a mismatch silently produces a
+    schedule for the wrong priority list.
     """
     machine = machine or single_unit_machine()
     full = fill_deadlines(graph, deadlines)
-    ranks = compute_ranks(graph, full, machine)
+    if ranks is None:
+        ranks = compute_ranks(graph, full, machine)
+    else:
+        ranks = dict(ranks)
     if not graph.nodes:
         return Schedule(graph, {}), ranks
     sched = list_schedule(

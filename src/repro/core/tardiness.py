@@ -51,18 +51,27 @@ def minimize_tardiness(
     if not graph.nodes:
         return TardinessResult(Schedule(graph, {}), 0, True)
 
-    # Upper bound: the tardiness of the plain greedy rank schedule.
-    lenient, _, feasible = rank_schedule_lenient(graph, base, machine)
+    # Upper bound: the tardiness of the plain greedy rank schedule.  Its
+    # ranks are reused for every probe: ``base + L`` is a uniform shift of
+    # ``base``, and ranks commute with uniform deadline shifts, so the search
+    # needs exactly one rank computation total.
+    lenient, base_ranks, feasible = rank_schedule_lenient(graph, base, machine)
     if feasible:
         return TardinessResult(lenient, 0, True)
     hi = lenient.tardiness(base)
     lo = 0
     best = lenient
     best_l = hi
+
+    def probe(shift: int) -> Schedule | None:
+        relaxed = {n: base[n] + shift for n in base}
+        shifted = {n: r + shift for n, r in base_ranks.items()}
+        sched, _ = rank_schedule(graph, relaxed, machine, ranks=shifted)
+        return sched
+
     while lo < hi:
         mid = (lo + hi) // 2
-        relaxed = {n: base[n] + mid for n in base}
-        sched, _ = rank_schedule(graph, relaxed, machine)
+        sched = probe(mid)
         if sched is not None:
             hi = mid
             best = sched
@@ -70,8 +79,7 @@ def minimize_tardiness(
         else:
             lo = mid + 1
     if lo < best_l:
-        relaxed = {n: base[n] + lo for n in base}
-        sched, _ = rank_schedule(graph, relaxed, machine)
+        sched = probe(lo)
         if sched is not None:
             best, best_l = sched, lo
     achieved = best.tardiness(base)

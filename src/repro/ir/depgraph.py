@@ -37,6 +37,7 @@ class DependenceGraph:
         self._order: list[str] = []  # insertion order of nodes
         self._topo_cache: list[str] | None = None
         self._reach_cache: tuple[dict[str, int], np.ndarray] | None = None
+        self._names_cache: np.ndarray | None = None  # program order, object dtype
         #: Scratch space for derived analyses (e.g. scheduler labellings);
         #: cleared whenever the graph changes.
         self.analysis_cache: dict[str, object] = {}
@@ -81,6 +82,7 @@ class DependenceGraph:
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._reach_cache = None
+        self._names_cache = None
         self.analysis_cache.clear()
 
     # Queries ------------------------------------------------------------------
@@ -187,8 +189,9 @@ class DependenceGraph:
     def descendants(self, u: str) -> list[str]:
         """All strict descendants of ``u``, in program order."""
         idx, reach = self._reachability()
-        row = reach[idx[u]]
-        return [n for n in self._order if row[idx[n]]]
+        if self._names_cache is None:
+            self._names_cache = np.array(self._order, dtype=object)
+        return self._names_cache[reach[idx[u]]].tolist()
 
     def node_index(self, u: str) -> int:
         """Program-order index of ``u`` (stable across queries)."""
@@ -205,6 +208,12 @@ class DependenceGraph:
         idx, reach = self._reachability()
         col = reach[:, idx[u]]
         return [n for n in self._order if col[idx[n]]]
+
+    def ancestor_row(self, u: str) -> np.ndarray:
+        """Boolean ancestor mask of ``u`` over program-order indices
+        (shared cache — do not mutate)."""
+        idx, reach = self._reachability()
+        return reach[:, idx[u]]
 
     def reaches(self, u: str, v: str) -> bool:
         idx, reach = self._reachability()

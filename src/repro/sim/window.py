@@ -119,8 +119,27 @@ def simulate_window(
     unit_free_at: dict[Unit, int] = {u: 0 for u in machine.unit_names()}
 
     # Barrier release times become known once every instruction before the
-    # barrier has issued (completion times are then fixed).
+    # barrier has issued (completion times are then fixed).  Barriers sit at
+    # increasing stream positions, so they release in ascending order; the
+    # issue logic therefore only ever needs, per stream position, the prefix
+    # of barriers at or before it and the running max of (release + penalty)
+    # over that prefix — both O(1) lookups instead of a scan over every
+    # barrier per window slot per cycle.
     barrier_release: dict[int, int | None] = {b: None for b in barriers}
+    barrier_list = sorted(barriers)
+    barriers_before: list[int] | None = None
+    if barrier_list:
+        barriers_before = [0] * n
+        k = 0
+        for pos in range(n):
+            while k < len(barrier_list) and barrier_list[k] <= pos:
+                k += 1
+            barriers_before[pos] = k
+    released = 0
+    barrier_constraint: list[int] = []  # running max of release + penalty
+    # Max completion time over stream[:i+1], filled as the head passes i —
+    # barrier b's release time is prefix_completion_max[b - 1].
+    prefix_completion_max: list[int] = [0] * n
 
     if collect_trace is None:
         collect_trace = obs.sim_events_enabled()
@@ -142,34 +161,40 @@ def simulate_window(
             if p not in completion:
                 return None
             t = max(t, completion[p] + lat)
-        pos = position[node]
-        for b, penalty in barriers.items():
-            if pos >= b:
-                rel = barrier_release[b]
-                if rel is None:
-                    return None
-                t = max(t, rel + penalty)
+        if barriers_before is not None:
+            k = barriers_before[position[node]]
+            if k:
+                if k > released:
+                    return None  # some applicable barrier not yet released
+                if barrier_constraint[k - 1] > t:
+                    t = barrier_constraint[k - 1]
         return t
 
     def update_barriers() -> None:
-        for b in barriers:
-            if barrier_release[b] is None and all(issued[i] for i in range(b)):
-                release = max(
-                    (completion[stream[i]] for i in range(b)), default=0
-                )
-                barrier_release[b] = release
-                if trace_obj is not None:
-                    trace_obj.events.append(
-                        SimEvent(
-                            cycle=release,
-                            kind="barrier_release",
-                            head=head,
-                            detail=(
-                                f"barrier at stream position {b} releases at "
-                                f"cycle {release} (+{barriers[b]} penalty)"
-                            ),
-                        )
+        # ``head`` is the first unissued stream index, so "every instruction
+        # before b has issued" is exactly ``head >= b``.
+        nonlocal released
+        while released < len(barrier_list) and head >= barrier_list[released]:
+            b = barrier_list[released]
+            release = prefix_completion_max[b - 1] if b > 0 else 0
+            barrier_release[b] = release
+            constraint = release + barriers[b]
+            if barrier_constraint and barrier_constraint[-1] > constraint:
+                constraint = barrier_constraint[-1]
+            barrier_constraint.append(constraint)
+            released += 1
+            if trace_obj is not None:
+                trace_obj.events.append(
+                    SimEvent(
+                        cycle=release,
+                        kind="barrier_release",
+                        head=head,
+                        detail=(
+                            f"barrier at stream position {b} releases at "
+                            f"cycle {release} (+{barriers[b]} penalty)"
+                        ),
                     )
+                )
 
     head = 0
     time = 0
@@ -223,6 +248,10 @@ def simulate_window(
                 break
         old_head = head
         while head < n and issued[head]:
+            c = completion[stream[head]]
+            if head > 0 and prefix_completion_max[head - 1] > c:
+                c = prefix_completion_max[head - 1]
+            prefix_completion_max[head] = c
             head += 1
         if trace_obj is not None and head > old_head:
             trace_obj.events.append(
@@ -438,10 +467,11 @@ def simulate_trace(
         if sorted(order) != sorted(trace.block_nodes(i)):
             raise ValueError(f"order for block {i} is not a permutation of it")
     stream: list[str] = [n for order in orders for n in order]
+    mispredicted = set(mispredicted_blocks)
     barriers: dict[int, int] = {}
     boundary = 0
     for i, order in enumerate(orders):
-        if i in set(mispredicted_blocks) and i > 0:
+        if i > 0 and i in mispredicted:
             barriers[boundary] = misprediction_penalty
         boundary += len(order)
     with obs.span(

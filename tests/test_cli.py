@@ -69,6 +69,25 @@ class TestRanks:
         out = capsys.readouterr().out
         assert "rank" in out and "BT" in out
 
+    def test_deadline_overrides_change_ranks(self, prog, capsys):
+        assert main(["ranks", prog, "--deadline", "100"]) == 0
+        base = capsys.readouterr().out
+        assert main(["ranks", prog, "--deadline", "100",
+                     "--deadlines", "d=5"]) == 0
+        tightened = capsys.readouterr().out
+        assert base != tightened
+
+    def test_unknown_deadline_name_is_an_error(self, prog, capsys):
+        assert main(["ranks", prog, "--deadlines", "nope=5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown nodes" in err and "nope" in err
+
+    def test_malformed_deadline_entry_is_an_error(self, prog, capsys):
+        assert main(["ranks", prog, "--deadlines", "d"]) == 2
+        assert "malformed" in capsys.readouterr().err
+        assert main(["ranks", prog, "--deadlines", "d=x"]) == 2
+        assert "malformed" in capsys.readouterr().err
+
 
 class TestLoop:
     def test_figure3_loop(self, fig3, capsys):
