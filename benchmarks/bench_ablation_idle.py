@@ -8,7 +8,7 @@ the optimal regime — individual instances can regress slightly; the table
 reports them honestly.)
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.analysis import geometric_mean
 from repro.core import algorithm_lookahead
@@ -81,6 +81,19 @@ def test_ablation_idle_delay(benchmark):
     )
     assert gain >= 1.0 - 1e-9
     assert improved > regressed
+
+    emit_metrics(
+        "E8_ablation_idle",
+        {
+            "fig2_without_delay": off2,
+            "fig2_with_delay": on2,
+            "random_instances": len(ratios),
+            "improved": improved,
+            "regressed": regressed,
+            "geomean_gain": gain,
+        },
+        machine=m2,
+    )
 
     t = random_trace(
         3, (4, 7), edge_probability=0.3, cross_probability=0.05,

@@ -13,7 +13,7 @@ orders win over purely local orders in expectation; as the branch approaches
 trace-bias tradeoff, but with a bounded downside.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import algorithm_lookahead, local_block_orders
 from repro.ir import ControlFlowGraph, Trace, block_from_graph
@@ -104,6 +104,18 @@ def test_cfg_paths(benchmark):
     assert sum(advantage_by_prob[0.8]) >= 0
     # The downside at 50/50 stays bounded (safety: no compensation code).
     assert min(advantage_by_prob[0.5]) > -PENALTY
+
+    emit_metrics(
+        "E14_cfg_paths",
+        {
+            "trials": TRIALS,
+            "misprediction_penalty": PENALTY,
+            "mean_advantage_by_prob": {
+                str(p): sum(advantage_by_prob[p]) / TRIALS for p in PROBS
+            },
+        },
+        machine=machine,
+    )
 
     cfg, blocks = build_diamond(0)
     cfg.add_edge("entry", "hot", 0.9)

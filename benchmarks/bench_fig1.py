@@ -4,7 +4,7 @@ Regenerates the figure's two schedules and rank values, asserts the paper's
 numbers, and benchmarks the Rank-Algorithm + Delay_Idle_Slots pipeline.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import (
     compute_ranks,
@@ -50,6 +50,20 @@ def test_fig1_reproduction(benchmark):
             ["derived d(x)", 1, deadlines["x"]],
         ],
         title="E1 / Figure 1: basic-block scheduling and idle-slot delaying",
+    )
+
+    emit_metrics(
+        "E1_fig1",
+        {
+            "ranks_at_d100": ranks100,
+            "initial_permutation": " ".join(initial.permutation()),
+            "initial_makespan": initial.makespan,
+            "initial_idle_slot": initial.idle_times()[0],
+            "delayed_permutation": " ".join(delayed.permutation()),
+            "delayed_makespan": delayed.makespan,
+            "delayed_idle_slot": delayed.idle_times()[0],
+            "derived_deadline_x": deadlines["x"],
+        },
     )
 
     benchmark(lambda: schedule_block_with_late_idle_slots(figure1_bb1()))

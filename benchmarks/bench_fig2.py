@@ -8,6 +8,7 @@ from common import emit_metrics, emit_table
 
 from repro.core import algorithm_lookahead, compute_ranks
 from repro.machine import paper_machine
+from repro.obs import MetricsRegistry, sim_metrics
 from repro.sim import simulate_trace
 from repro.workloads import figure2_trace
 
@@ -26,7 +27,9 @@ def test_fig2_reproduction(benchmark):
     assert ranks == PAPER_RANKS
 
     res_edge = algorithm_lookahead(t_edge, machine)
-    sim_edge = simulate_trace(t_edge, res_edge.block_orders, machine)
+    sim_edge = simulate_trace(
+        t_edge, res_edge.block_orders, machine, collect_trace=True
+    )
     assert sim_edge.makespan == 11
     p1 = res_edge.block_orders[0]
     assert p1.index("w") < p1.index("b")  # the cross edge reorders BB1
@@ -69,6 +72,10 @@ def test_fig2_reproduction(benchmark):
         title="E2 / Figure 2: anticipatory schedules at W = 2",
     )
 
+    # Hardware-counter view of the with-cross-edge execution: IPC, window
+    # occupancy and the full stall-attribution breakdown.
+    counters = sim_metrics(sim_edge.trace, MetricsRegistry()).to_dict()
+
     emit_metrics(
         "E2_fig2",
         {
@@ -78,6 +85,14 @@ def test_fig2_reproduction(benchmark):
             "makespan_without_cross_edge": sim_plain.makespan,
             "stall_cycles_with_cross_edge": sim_edge.stall_cycles,
             "stall_cycles_without_cross_edge": sim_plain.stall_cycles,
+            "block_orders_with_cross_edge": [
+                " ".join(order) for order in res_edge.block_orders
+            ],
+            "block_orders_without_cross_edge": [
+                " ".join(order) for order in res_plain.block_orders
+            ],
+            **counters,
         },
+        machine=machine,
     )
     benchmark(lambda: algorithm_lookahead(figure2_trace(True), machine))

@@ -5,7 +5,7 @@ initiation intervals (5/7 vs 6/6), asserts the §5.2 algorithm discovers
 Schedule 2, and benchmarks the single-block loop scheduler.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import schedule_single_block_loop
 from repro.machine import paper_machine
@@ -76,6 +76,22 @@ def test_fig3_reproduction(benchmark):
         ["window W", "Schedule 1 II", "Schedule 2 II"],
         sweep,
         title="E3 / Figure 3 follow-up: steady-state II under lookahead",
+    )
+
+    emit_metrics(
+        "E3_fig3",
+        {
+            "schedule1_one_iter": measured["Schedule 1"][0],
+            "schedule1_ii": measured["Schedule 1"][1],
+            "schedule2_one_iter": measured["Schedule 2"][0],
+            "schedule2_ii": measured["Schedule 2"][1],
+            "chosen_order": " ".join(res.order),
+            "window_sweep_ii": {
+                str(w): {"schedule1": s1, "schedule2": s2}
+                for w, s1, s2 in sweep
+            },
+        },
+        machine=m1,
     )
 
     benchmark(lambda: schedule_single_block_loop(figure3_loop(), m1))

@@ -6,7 +6,7 @@ while the source transform stays trapped by the symmetry, and benchmarks the
 candidate search.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import schedule_single_block_loop
 from repro.machine import paper_machine
@@ -46,6 +46,20 @@ def test_fig8_reproduction(benchmark):
         ["transform", "pivot", "order", "completion (8 iters)"],
         [[c.kind, c.pivot, " ".join(c.order), c.completion] for c in res.candidates],
         title="E4 / Figure 8: §5.2.3 candidate schedules (dual transform wins)",
+    )
+
+    emit_metrics(
+        "E4_fig8",
+        {
+            "completion_by_iterations": {
+                str(n): {"s1": s1, "s2": s2} for n, _, s1, _, s2 in rows
+            },
+            "chosen_order": " ".join(res.order),
+            "winning_transform": res.best.kind,
+            "winning_pivot": res.best.pivot,
+            "candidates": len(res.candidates),
+        },
+        machine=m1,
     )
 
     benchmark(lambda: schedule_single_block_loop(figure8_loop(), m1))

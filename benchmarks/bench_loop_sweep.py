@@ -9,7 +9,7 @@ recurrence-dominated shapes it strictly wins (the Figure 3 / Figure 8
 effect).
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.analysis import geometric_mean
 from repro.core import schedule_single_block_loop
@@ -74,6 +74,35 @@ def test_loop_sweep(benchmark):
          "anticipatory II"],
         rec_rows,
         title="E6 follow-up: recurrence-dominated loops",
+    )
+
+    emit_metrics(
+        "E6_loop_sweep",
+        {
+            "trials": TRIALS,
+            "strict_wins": wins,
+            "loops": [
+                {
+                    "seed": seed,
+                    "program_order_ii": naive,
+                    "block_optimal_ii": block,
+                    "anticipatory_ii": ours,
+                    "transform": kind,
+                    "pivot": pivot,
+                }
+                for seed, naive, block, ours, kind, pivot in rows
+            ],
+            "recurrence": [
+                {
+                    "chain_length": chain,
+                    "recurrence_latency": lat,
+                    "program_order_ii": naive,
+                    "anticipatory_ii": ours,
+                }
+                for chain, lat, naive, ours in rec_rows
+            ],
+        },
+        machine=m,
     )
 
     loop = random_loop(6, seed=0, carried_latencies=(1, 2, 4))

@@ -8,7 +8,7 @@ is valid; anticipatory is competitive (within a small factor of the best
 local baseline on every instance, better or equal in geomean).
 """
 
-from common import emit_table, run_sweep
+from common import emit_metrics, emit_table, run_sweep
 
 from repro.analysis import geometric_mean
 from repro.core import algorithm_lookahead
@@ -95,6 +95,26 @@ def test_multifu_heuristics(benchmark):
         title="E7 follow-up: reduction-tree kernel across machines",
     )
     assert sim.makespan <= sim_narrow.makespan
+
+    emit_metrics(
+        "E7_multifu",
+        {
+            "trials": TRIALS,
+            "geomean_critpath_over_anticipatory": gm,
+            "seeds": [
+                {
+                    "seed": seed,
+                    "source": source,
+                    "crit_path": crit,
+                    "anticipatory": ant,
+                }
+                for seed, source, crit, ant in rows[:TRIALS]
+            ],
+            "reduction_makespan_rs6000": sim.makespan,
+            "reduction_makespan_narrow": sim_narrow.makespan,
+        },
+        machine=m,
+    )
 
     t = make_trace(0)
     benchmark(lambda: algorithm_lookahead(t, m))

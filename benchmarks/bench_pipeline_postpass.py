@@ -10,7 +10,7 @@ pipeline matches or beats the raw program order and never loses to the
 modulo kernel order by more than one cycle of II.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import schedule_single_block_loop
 from repro.machine import paper_machine
@@ -48,6 +48,24 @@ def test_pipeline_postpass(benchmark):
             "E11: software pipelining + anticipatory post-pass "
             "(single FU, W=2, simulated steady state)"
         ),
+    )
+
+    emit_metrics(
+        "E11_postpass",
+        {
+            "loops": [
+                {
+                    "loop": name,
+                    "mii": mii,
+                    "modulo_kernel_ii": kernel_ii_sched,
+                    "modulo_order_ii": kernel_ii,
+                    "anticipatory_ii": ours_ii,
+                    "program_order_ii": naive_ii,
+                }
+                for name, mii, kernel_ii_sched, kernel_ii, ours_ii, naive_ii in rows
+            ],
+        },
+        machine=m,
     )
 
     loop = figure3_loop()

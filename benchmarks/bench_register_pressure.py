@@ -18,7 +18,7 @@ schedule-first stays at the ideal (geomean assertion), reproducing the
 argument for scheduling renamed code.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.analysis import geometric_mean
 from repro.core import algorithm_lookahead
@@ -133,6 +133,7 @@ def test_register_pressure(benchmark):
     # as registers shrink (spill code + reload latencies on the critical
     # path).
     spill_rows = []
+    spill_data = []
     for seed in range(4):
         program = random_program(3, 7, seed=seed)
         renamed = rename_registers([i for _, instrs in program for i in instrs])
@@ -142,6 +143,9 @@ def test_register_pressure(benchmark):
             span, spills = allocate_first_with_spills(program, renamed, machine, k)
             row.append(f"{span} ({spills} spills)")
             spans.append(span)
+            spill_data.append(
+                {"seed": seed, "k": k, "makespan": span, "spills": spills}
+            )
         spill_rows.append(row)
         assert spans[0] >= spans[-1]  # 3 registers never beat 8
     emit_table(
@@ -149,6 +153,29 @@ def test_register_pressure(benchmark):
         ["seed", "K=3", "K=5", "K=8"],
         spill_rows,
         title="E12 follow-up: below-minimum register counts with spill code",
+    )
+
+    emit_metrics(
+        "E12_register_pressure",
+        {
+            "trials": TRIALS,
+            "geomean_alloc_first_over_sched_first": penalty,
+            "seeds": [
+                {
+                    "seed": seed,
+                    "ideal": ideal,
+                    "schedule_first_tight": sf,
+                    "allocate_first_tight": af,
+                    "allocate_first_plus2": row[4],
+                    "allocate_first_loose": row[5],
+                }
+                for seed, (ideal, sf, af, row) in enumerate(
+                    zip(ideals, tight_sched_first, tight_alloc_first, rows)
+                )
+            ],
+            "spills": spill_data,
+        },
+        machine=machine,
     )
 
     program = random_program(3, 7, seed=0)

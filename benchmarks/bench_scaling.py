@@ -102,6 +102,9 @@ def test_scaling(benchmark):
             "phase_wall_s": largest["phase_wall_s"],
             "rank_delay_wall_s": largest["rank_delay_wall_s"],
         },
+        phases=largest["phase_wall_s"],
+        machine=m,
+        smoke=bool(os.environ.get("REPRO_BENCH_SMOKE")),
     )
 
     t = make_trace(*sizes[0]) if os.environ.get("REPRO_BENCH_SMOKE") else make_trace(4, 20)

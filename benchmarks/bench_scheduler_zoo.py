@@ -8,7 +8,7 @@ classic list heuristic in total cycles, and anticipatory scheduling leads
 the safe field.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import algorithm_lookahead, local_block_orders
 from repro.machine import paper_machine
@@ -95,6 +95,12 @@ def test_scheduler_zoo(benchmark):
     assert totals["Anticipatory (§4)"] == min(safe.values())
     assert totals["global bound (unsafe)"] <= totals["Anticipatory (§4)"]
     assert totals["Rank Algorithm [10]"] <= totals["source order"]
+
+    emit_metrics(
+        "E15_scheduler_zoo",
+        {"trials": TRIALS, "total_cycles": dict(sorted(totals.items()))},
+        machine=machine,
+    )
 
     trace = make_trace(0)
     benchmark(lambda: algorithm_lookahead(trace, machine))

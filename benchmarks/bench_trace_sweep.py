@@ -8,7 +8,7 @@ bound is a lower envelope on every completion time.
 """
 
 import pytest
-from common import emit_table, run_sweep
+from common import emit_metrics, emit_table, run_sweep
 
 from repro.analysis import gap_recovered, geometric_mean
 from repro.core import algorithm_lookahead, local_block_orders
@@ -90,6 +90,23 @@ def test_trace_sweep(benchmark):
         if row[0] >= 2:
             assert row[3] >= row[2] - 1e-9, f"anticipatory lost at {row}"
     assert all(adv >= 1.0 for adv in ant_advantage_by_window[2])
+
+    emit_metrics(
+        "E5_trace_sweep",
+        {
+            "trials": TRIALS,
+            "cells": [
+                {
+                    "window": w,
+                    "cross_probability": cross,
+                    "local_speedup": local_speed,
+                    "anticipatory_speedup": ant_speed,
+                    "gap_recovered": gap,
+                }
+                for w, cross, local_speed, ant_speed, gap in rows
+            ],
+        },
+    )
 
     m = paper_machine(4)
     t = make_trace(0, 0.1)

@@ -8,7 +8,7 @@ size.  The §5.2 algorithm works on the rolled body directly.  Expected shape
 §5.2 steady state as U grows; on Figure 3 both reach 6 cycles/iteration.
 """
 
-from common import emit_table
+from common import emit_metrics, emit_table
 
 from repro.core import schedule_single_block_loop
 from repro.core.loops import schedule_loop_trace
@@ -36,6 +36,7 @@ def per_iteration_cost(loop, factor: int, machine) -> float:
 def test_unroll_study(benchmark):
     m = paper_machine(2)
     rows = []
+    loop_data = []
     cases = [("figure 3", figure3_loop())] + [
         (f"random {seed}", random_loop(5, seed=seed, carried_latencies=(1, 2, 4)))
         for seed in range(5)
@@ -46,6 +47,16 @@ def test_unroll_study(benchmark):
         naive_ii = simulated_initiation_interval(loop, loop.nodes, m)
         costs = [per_iteration_cost(loop, f, m) for f in FACTORS]
         rows.append([name, naive_ii, rolled_ii] + [f"{c:.2f}" for c in costs])
+        loop_data.append(
+            {
+                "loop": name,
+                "program_order_ii": naive_ii,
+                "rolled_ii": rolled_ii,
+                "unrolled_cycles_per_iter": {
+                    str(f): c for f, c in zip(FACTORS, costs)
+                },
+            }
+        )
         # Unrolled scheduling should be in the same band as rolled §5.2:
         # never worse than program order, within one cycle of rolled at the
         # largest factor.
@@ -59,6 +70,8 @@ def test_unroll_study(benchmark):
         rows,
         title="E13: unroll-and-schedule vs rolled anticipatory loop scheduling (W=2)",
     )
+
+    emit_metrics("E13_unroll", {"loops": loop_data}, machine=m)
 
     loop = figure3_loop()
     benchmark(lambda: per_iteration_cost(loop, 2, m))

@@ -8,7 +8,7 @@ hardware (quadratic dependence-check cost) because modest windows already
 capture most of the benefit when schedules anticipate them.
 """
 
-from common import emit_table, run_sweep
+from common import emit_metrics, emit_table, run_sweep
 
 from repro.analysis import overlap_cycles
 from repro.core import algorithm_lookahead
@@ -79,6 +79,15 @@ def test_window_sweep(benchmark):
     assert overlaps[1] == 0
     assert overlaps[4] > 0
     assert totals[16] == totals[12]
+
+    emit_metrics(
+        "E9_window_sweep",
+        {
+            "trials": TRIALS,
+            "total_completion_by_window": {str(w): totals[w] for w in WINDOWS},
+            "total_overlap_by_window": {str(w): overlaps[w] for w in WINDOWS},
+        },
+    )
 
     t = make_trace(0)
     m = paper_machine(8)

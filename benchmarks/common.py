@@ -5,16 +5,16 @@ of the prospective study the paper proposed in §7 (E5-E11; see DESIGN.md).
 Tables are printed and also written to ``benchmarks/results/<name>.txt`` so
 EXPERIMENTS.md can quote them.
 
-Benchmarks additionally persist machine-readable per-run metrics
-(:func:`emit_metrics`) to ``benchmarks/results/<name>.json`` — makespans,
-stall cycles, speedups and per-phase wall times — so result trajectories
-(``BENCH_*.json``) can be populated from structured data rather than by
-scraping tables.
+Benchmarks additionally persist a schema-versioned
+:class:`~repro.obs.runreport.RunReport` per run (:func:`emit_metrics`) to
+``benchmarks/results/<name>.json`` — makespans, stall cycles, speedups,
+per-phase wall times and provenance — so result trajectories
+(``BENCH_*.json``) and the CI regression gate (``repro compare``) consume
+structured data rather than scraping tables.
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 import pathlib
@@ -22,11 +22,17 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis import format_table
-from repro.obs import TraceRecorder, recording
+from repro.obs import (
+    RUNREPORT_SCHEMA_VERSION,
+    RunReport,
+    TraceRecorder,
+    collect_provenance,
+    recording,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = RUNREPORT_SCHEMA_VERSION
 
 
 def emit_table(
@@ -44,21 +50,36 @@ def emit_table(
     return text
 
 
-def emit_metrics(name: str, metrics: Mapping[str, object]) -> pathlib.Path:
-    """Persist one run's metrics as ``results/<name>.json``.
+def emit_metrics(
+    name: str,
+    metrics: Mapping[str, object],
+    phases: Mapping[str, float] | None = None,
+    machine=None,
+    seed: int | None = None,
+    **provenance_extra,
+) -> pathlib.Path:
+    """Persist one run as a RunReport at ``results/<name>.json``.
 
     ``metrics`` should hold JSON-serializable scalars/lists/dicts — typical
     keys: ``makespan``, ``stall_cycles``, ``speedup``, ``wall_s``,
-    ``phase_wall_s`` (see :func:`phase_walltimes`).
+    ``phase_wall_s`` (see :func:`phase_walltimes`).  ``phases`` (per-phase
+    wall-clock seconds), ``machine`` (a :class:`MachineModel`) and ``seed``
+    land in the report's ``phases``/``provenance`` sections; extra keyword
+    arguments are stored as additional provenance.
+
+    The regression gate treats every non-wall-time metric as invariant:
+    ``repro compare baseline.json results/<name>.json`` fails on any drift.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "name": name,
-        "schema_version": METRICS_SCHEMA_VERSION,
-        "metrics": dict(metrics),
-    }
-    path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report = RunReport(
+        name=name,
+        metrics=dict(metrics),
+        phases=dict(phases or {}),
+        provenance=collect_provenance(
+            machine=machine, seed=seed, **provenance_extra
+        ),
+    )
+    path = report.write(RESULTS_DIR / f"{name}.json")
     print(f"metrics: wrote {path}")
     return path
 

@@ -10,7 +10,16 @@ from .metrics import (
     speedup,
     utilization,
 )
-from .report import format_table, phase_summary, print_table, trace_summary
+from .report import (
+    format_markdown_table,
+    format_table,
+    phase_summary,
+    print_table,
+    render_report_diff,
+    render_run_report,
+    stall_attribution_summary,
+    trace_summary,
+)
 from .verify import (
     OutputError,
     check_block_orders,
@@ -23,6 +32,7 @@ __all__ = [
     "OutputError",
     "check_block_orders",
     "check_runtime_legality",
+    "format_markdown_table",
     "format_table",
     "gap_recovered",
     "geometric_mean",
@@ -32,6 +42,9 @@ __all__ = [
     "overlap_cycles",
     "phase_summary",
     "print_table",
+    "render_report_diff",
+    "render_run_report",
+    "stall_attribution_summary",
     "trace_summary",
     "schedule_to_dot",
     "speedup",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 from ..core.schedule import Schedule
@@ -12,7 +12,9 @@ from ..ir.basicblock import Trace
 def speedup(baseline: int | float, improved: int | float) -> float:
     """baseline / improved (>1 means ``improved`` is faster)."""
     if improved <= 0:
-        raise ValueError("improved completion time must be positive")
+        raise ValueError(
+            f"improved completion time must be positive, got {improved!r}"
+        )
     return baseline / improved
 
 
@@ -35,6 +37,10 @@ class IdleStats:
     first: int | None
     last: int | None
     mean_position: float | None  # normalized to [0, 1] of the makespan
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, for embedding in RunReports."""
+        return asdict(self)
 
 
 def idle_stats(schedule: Schedule) -> IdleStats:
@@ -65,13 +71,20 @@ def overlap_cycles(
 ) -> int:
     """Number of runtime cycles in which an instruction issued *before* some
     instruction of an earlier block (a direct measure of the cross-block
-    overlap that hardware lookahead realized)."""
+    overlap that hardware lookahead realized).
+
+    An instruction counts iff some earlier-issued instruction belongs to a
+    later block, i.e. iff the running maximum block index over the issue
+    prefix exceeds its own block index — one O(n) pass, no rescan.
+    """
     count = 0
-    perm = schedule.permutation()
-    blocks = [trace.block_index(n) for n in perm]
-    for i in range(len(perm)):
-        if any(blocks[j] > blocks[i] for j in range(i)):
+    max_block = -1
+    for node in schedule.permutation():
+        block = trace.block_index(node)
+        if max_block > block:
             count += 1
+        elif block > max_block:
+            max_block = block
     return count
 
 
@@ -79,8 +92,10 @@ def geometric_mean(values: Sequence[float]) -> float:
     if not values:
         raise ValueError("geometric mean of empty sequence")
     prod = 1.0
-    for v in values:
+    for i, v in enumerate(values):
         if v <= 0:
-            raise ValueError("geometric mean needs positive values")
+            raise ValueError(
+                f"geometric mean needs positive values, got {v!r} at index {i}"
+            )
         prod *= v
     return prod ** (1.0 / len(values))

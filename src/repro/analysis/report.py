@@ -39,6 +39,28 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a GitHub-flavoured-markdown table (optionally under a
+    bold title line)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    lines: list[str] = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
 def print_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
@@ -86,3 +108,87 @@ def phase_summary(recorder) -> str:
         rows,
         title="pipeline phase wall time",
     )
+
+
+def stall_attribution_summary(trace, markdown: bool = False) -> str:
+    """Stall-attribution table of a :class:`~repro.obs.events.SimTrace`:
+    one row per cause, totalling exactly ``trace.stall_cycles``."""
+    from ..obs.metrics import stall_attribution
+
+    attribution = stall_attribution(trace)
+    total = trace.stall_cycles
+    rows = [
+        [cause, stalled, f"{stalled / total * 100:.1f}%" if total else "-"]
+        for cause, stalled in attribution.items()
+    ]
+    rows.append(["total", total, "100.0%" if total else "-"])
+    table = format_markdown_table if markdown else format_table
+    title = "stall attribution" + (f" — {trace.label}" if trace.label else "")
+    return table(["cause", "stall cycles", "share"], rows, title=title)
+
+
+def render_run_report(report, markdown: bool = False) -> str:
+    """Render a :class:`~repro.obs.runreport.RunReport` as a terminal (or
+    markdown) summary: provenance, flattened metrics, per-phase wall times."""
+    from ..obs.runreport import flatten_metrics
+
+    table = format_markdown_table if markdown else format_table
+    parts: list[str] = []
+    header = f"RunReport {report.name or '(unnamed)'} " \
+             f"(schema v{report.schema_version})"
+    parts.append(f"## {header}" if markdown else header)
+
+    if report.provenance:
+        rows = [
+            [key, _fmt(value)]
+            for key, value in sorted(flatten_metrics(report.provenance).items())
+        ]
+        parts.append(table(["provenance", "value"], rows))
+
+    metric_rows = [
+        [path, _fmt(value)]
+        for path, value in sorted(flatten_metrics(report.metrics).items())
+    ]
+    parts.append(table(["metric", "value"], metric_rows))
+
+    if report.phases:
+        phase_rows = [
+            [name, f"{seconds * 1e3:.3f}"]
+            for name, seconds in sorted(
+                report.phases.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        parts.append(table(["phase", "total ms"], phase_rows,
+                           title="pipeline phase wall time"))
+    return "\n\n".join(parts)
+
+
+def render_report_diff(diff, markdown: bool = False) -> str:
+    """Render a :class:`~repro.obs.runreport.ReportDiff` as a delta table
+    plus a pass/fail summary line."""
+    table = format_markdown_table if markdown else format_table
+    changed = diff.changed()
+    parts: list[str] = []
+    if changed:
+        rows = [
+            [d.metric, _fmt(d.baseline), _fmt(d.new), d.status, d.note]
+            for d in changed
+        ]
+        parts.append(table(
+            ["metric", "baseline", "new", "status", "note"],
+            rows,
+            title=f"report deltas (threshold {diff.threshold_pct:g}%)",
+        ))
+    ok_count = sum(1 for d in diff.deltas if d.status == "ok")
+    failures = diff.failures
+    if failures:
+        parts.append(
+            f"FAIL: {len(failures)} regression(s)/drift(s), "
+            f"{len(changed) - len(failures)} warning(s), {ok_count} metrics ok"
+        )
+    else:
+        parts.append(
+            f"OK: {ok_count} metrics within tolerance"
+            + (f", {len(changed)} warning(s)" if changed else "")
+        )
+    return "\n\n".join(parts)

@@ -5,6 +5,9 @@ Usage (also via ``python -m repro``)::
     repro schedule prog.s --window 4 --scheduler anticipatory --simulate
     repro schedule prog.s --simulate --trace run.jsonl
     repro trace run.jsonl
+    repro report run.jsonl
+    repro report benchmarks/results/E10_scaling.json --markdown
+    repro compare baseline.json new.json --threshold 25
     repro ranks prog.s --deadline 100
     repro loop prog.s --window 2 --iterations 8
     repro dot prog.s -o deps.dot
@@ -23,13 +26,20 @@ per-cycle timeline; see ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 
 from . import __version__
 from .analysis.dot import loop_to_dot, trace_to_dot
-from .analysis.report import format_table
+from .analysis.report import (
+    format_table,
+    render_report_diff,
+    render_run_report,
+    stall_attribution_summary,
+    trace_summary,
+)
 from .core import algorithm_lookahead, compute_ranks, local_block_orders
 from .core.loops import schedule_single_block_loop
 from .ir.loop_builder import build_loop_graph
@@ -42,6 +52,7 @@ from .machine import (
     WIDE_VLIW,
 )
 from .obs import TraceRecorder, recording
+from .obs.runreport import RunReport, compare_reports
 from .obs.export import (
     chrome_trace_path,
     read_jsonl,
@@ -222,6 +233,96 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_from_jsonl(path: str) -> tuple["RunReport", list]:
+    """Build an in-memory RunReport (plus the sim traces) from a recorded
+    JSONL trace file."""
+    from .obs.metrics import MetricsRegistry, sim_metrics
+    from .obs.runreport import collect_provenance
+
+    records = read_jsonl(path)
+    if not any(r.get("type") == "meta" for r in records):
+        raise ValueError("no meta record")
+    sim_traces = sim_traces_from_records(records)
+    registry = MetricsRegistry()
+    for i, trace in enumerate(sim_traces):
+        prefix = "sim." if len(sim_traces) == 1 else f"sim.{i}."
+        sim_metrics(trace, registry, prefix)
+    phases: dict[str, float] = {}
+    for r in records:
+        if r.get("type") == "span":
+            phases[r["name"]] = phases.get(r["name"], 0.0) + r["dur_us"] / 1e6
+    report = RunReport(
+        name=Path(path).name,
+        metrics=registry.to_dict(),
+        phases=phases,
+        provenance=collect_provenance(source="trace-jsonl"),
+    )
+    return report, sim_traces
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a RunReport JSON or a recorded JSONL trace as a summary."""
+    try:
+        text = Path(args.file).read_text()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # A RunReport is one (possibly pretty-printed) JSON document; a trace
+    # is JSONL whose first record is the meta line.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and doc.get("type") != "meta":
+        try:
+            report = RunReport.from_dict(doc)
+        except ValueError as exc:
+            print(f"error: not a RunReport: {exc}", file=sys.stderr)
+            return 2
+        print(render_run_report(report, markdown=args.markdown))
+        return 0
+
+    first_line = next((ln for ln in text.splitlines() if ln.strip()), "")
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if not (isinstance(first, dict) and first.get("type") == "meta"):
+        print(f"error: {args.file} is neither a RunReport JSON nor a "
+              "repro trace file", file=sys.stderr)
+        return 2
+    try:
+        report, sim_traces = _report_from_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: not a repro trace file: {exc}", file=sys.stderr)
+        return 2
+    print(render_run_report(report, markdown=args.markdown))
+    for trace in sim_traces:
+        print()
+        print(trace_summary(trace))
+        print()
+        print(stall_attribution_summary(trace, markdown=args.markdown))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Diff two RunReports; exit 1 when an invariant metric drifted or a
+    wall-time regressed beyond the threshold."""
+    try:
+        baseline = RunReport.load(args.baseline)
+        new = RunReport.load(args.new)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.threshold < 0:
+        print("error: --threshold must be >= 0", file=sys.stderr)
+        return 2
+    diff = compare_reports(baseline, new, threshold_pct=args.threshold)
+    print(f"comparing {args.baseline} (baseline) vs {args.new}")
+    print(render_report_diff(diff, markdown=args.markdown))
+    return 0 if diff.ok else 1
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     if args.loop:
         blocks = parse_program(Path(args.file).read_text())
@@ -300,6 +401,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("file", help="JSONL trace written by --trace")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="render a RunReport JSON (or a recorded JSONL trace) as a "
+             "metrics/stall-attribution summary",
+    )
+    p.add_argument("file", help="RunReport .json or JSONL trace written by --trace")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit GitHub-flavoured-markdown tables")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two RunReports; nonzero exit on metric drift or "
+             "wall-time regression",
+    )
+    p.add_argument("baseline", help="baseline RunReport JSON")
+    p.add_argument("new", help="new RunReport JSON")
+    p.add_argument("--threshold", type=float, default=25.0, metavar="PCT",
+                   help="allowed wall-time increase in percent (default 25); "
+                        "all other metrics must match exactly")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit GitHub-flavoured-markdown tables")
+    p.set_defaults(func=cmd_compare)
     return parser
 
 

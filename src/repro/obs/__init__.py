@@ -1,10 +1,31 @@
 """Observability: pipeline spans, counters, cycle-level simulator event
-traces, and exporters (JSONL, Chrome trace-event / Perfetto).
+traces, derived hardware-counter metrics, schema-versioned run reports, and
+exporters (JSONL, Chrome trace-event / Perfetto).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and usage guide.
 """
 
 from .events import EVENT_KINDS, STALL_KINDS, SimEvent, SimTrace
+from .metrics import (
+    STALL_CAUSES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    classify_stall,
+    sim_metrics,
+    stall_attribution,
+)
+from .runreport import (
+    RUNREPORT_SCHEMA_VERSION,
+    Delta,
+    ReportDiff,
+    RunReport,
+    collect_provenance,
+    compare_reports,
+    flatten_metrics,
+    is_timing_path,
+)
 from .export import (
     chrome_trace_events,
     chrome_trace_path,
@@ -27,12 +48,28 @@ from .recorder import (
 )
 
 __all__ = [
+    "Counter",
+    "Delta",
     "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RUNREPORT_SCHEMA_VERSION",
+    "ReportDiff",
+    "RunReport",
+    "STALL_CAUSES",
     "STALL_KINDS",
     "SimEvent",
     "SimTrace",
     "SpanRecord",
     "TraceRecorder",
+    "classify_stall",
+    "collect_provenance",
+    "compare_reports",
+    "flatten_metrics",
+    "is_timing_path",
+    "sim_metrics",
+    "stall_attribution",
     "chrome_trace_events",
     "chrome_trace_path",
     "count",

@@ -64,10 +64,13 @@ class SimEvent:
     #: Unissued instructions in the window [head, head+W) at the event.
     occupancy: int | None = None
     detail: str = ""
+    #: Structured attribution category for stall-kind events (one of
+    #: :data:`~repro.obs.metrics.STALL_CAUSES`); ``None`` for other kinds.
+    cause: str | None = None
 
     def to_dict(self) -> dict:
         out: dict = {"type": "sim", "cycle": self.cycle, "kind": self.kind}
-        for key in ("node", "unit", "head", "occupancy"):
+        for key in ("node", "unit", "head", "occupancy", "cause"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -85,6 +88,7 @@ class SimEvent:
             head=d.get("head"),
             occupancy=d.get("occupancy"),
             detail=d.get("detail", ""),
+            cause=d.get("cause"),
         )
 
 

@@ -1,0 +1,273 @@
+"""Schema-versioned run reports and report comparison (the regression gate).
+
+A :class:`RunReport` is the one-JSON-document artifact every benchmark run
+leaves behind: named metrics (scalars, nested tables, or
+:class:`~repro.obs.metrics.MetricsRegistry` summaries), per-phase span
+wall-times, and provenance (git SHA, Python version, platform, machine and
+window configuration, seed).  ``benchmarks/common.py::emit_metrics`` writes
+one per benchmark into ``benchmarks/results/``; ``repro report`` renders
+them; ``repro compare`` diffs two of them and the CI bench-smoke job gates
+on the result.
+
+Comparison semantics (:func:`compare_reports`)
+----------------------------------------------
+
+Metric trees are flattened to dotted paths (``runs.0.wall_s``) and compared
+leaf by leaf:
+
+- **wall-time leaves** — any path with a segment containing ``wall`` or
+  ending in ``_s``/``_ns``/``_us``, plus everything under ``phases`` — are
+  thresholded: an increase beyond ``threshold_pct`` percent is a regression,
+  anything else is noise;
+- **every other leaf is invariant** — makespans, stall cycles, ranks, block
+  orders are deterministic, so *any* drift (either direction, or a missing
+  leaf) fails the gate;
+- leaves only in the new report are reported as ``added`` but do not fail —
+  committed baselines are regenerated in the same PR that adds a metric.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+#: Version of the RunReport JSON schema.  v1 was the ad-hoc
+#: ``{name, schema_version, metrics}`` document of the first emit_metrics;
+#: v2 adds ``phases`` and ``provenance`` and nails the comparison contract.
+RUNREPORT_SCHEMA_VERSION = 2
+
+
+@dataclass
+class RunReport:
+    """One run's metrics, per-phase wall-times and provenance."""
+
+    name: str
+    metrics: dict[str, object] = field(default_factory=dict)
+    #: Wall-clock seconds per pipeline phase (``TraceRecorder.phase_walltimes``).
+    phases: dict[str, float] = field(default_factory=dict)
+    #: Where the numbers came from: git SHA, Python version, platform,
+    #: machine/window configuration, seed.
+    provenance: dict[str, object] = field(default_factory=dict)
+    schema_version: int = RUNREPORT_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "schema_version": self.schema_version,
+            "metrics": self.metrics,
+            "phases": self.phases,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "RunReport":
+        if not isinstance(doc, Mapping) or "metrics" not in doc:
+            raise ValueError("not a RunReport document (no 'metrics' field)")
+        version = doc.get("schema_version", 1)
+        if not isinstance(version, int) or version < 1:
+            raise ValueError(f"bad RunReport schema_version: {version!r}")
+        if version > RUNREPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"RunReport schema_version {version} is newer than this "
+                f"reader (supports <= {RUNREPORT_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=str(doc.get("name", "")),
+            metrics=dict(doc["metrics"]),
+            phases=dict(doc.get("phases", {})),
+            provenance=dict(doc.get("provenance", {})),
+            schema_version=version,
+        )
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def collect_provenance(
+    machine=None, seed: int | None = None, **extra
+) -> dict[str, object]:
+    """Standard provenance block: git SHA, Python version, platform, the
+    machine/window configuration, and the workload seed.
+
+    ``machine`` is a :class:`~repro.machine.model.MachineModel` (or ``None``);
+    arbitrary extra keys are passed through.
+    """
+    out: dict[str, object] = {
+        "python": platform.python_version(),
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "argv0": Path(sys.argv[0]).name if sys.argv else "",
+    }
+    sha = _git_sha()
+    if sha:
+        out["git_sha"] = sha
+    if machine is not None:
+        out["machine"] = {
+            "window_size": machine.window_size,
+            "fu_counts": dict(machine.fu_counts),
+            "issue_width": machine.issue_width,
+        }
+    if seed is not None:
+        out["seed"] = seed
+    out.update(extra)
+    return out
+
+
+def flatten_metrics(value, path: str = "") -> dict[str, object]:
+    """Flatten nested dicts/lists to ``{dotted.path: leaf}`` (lists indexed
+    numerically); scalars map to themselves under their path."""
+    out: dict[str, object] = {}
+    if isinstance(value, Mapping):
+        for key in value:
+            sub = f"{path}.{key}" if path else str(key)
+            out.update(flatten_metrics(value[key], sub))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            sub = f"{path}.{i}" if path else str(i)
+            out.update(flatten_metrics(item, sub))
+    else:
+        out[path] = value
+    return out
+
+
+_TIMING_SUFFIXES = ("_s", "_ns", "_us", "_ms")
+
+
+def is_timing_path(path: str) -> bool:
+    """True when the dotted metric path denotes a wall-time measurement
+    (thresholded in comparisons rather than held invariant)."""
+    if path == "phases" or path.startswith("phases."):
+        return True
+    for segment in path.split("."):
+        if "wall" in segment or segment.endswith(_TIMING_SUFFIXES):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric leaf."""
+
+    metric: str
+    baseline: object
+    new: object
+    #: ``ok`` | ``regression`` | ``drift`` | ``removed`` | ``added``
+    status: str
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regression", "drift", "removed")
+
+
+@dataclass
+class ReportDiff:
+    """Outcome of comparing two RunReports."""
+
+    deltas: list[Delta]
+    threshold_pct: float
+
+    @property
+    def failures(self) -> list[Delta]:
+        return [d for d in self.deltas if d.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def changed(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status != "ok"]
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _compare_leaf(path: str, base, new, threshold_pct: float) -> Delta:
+    if _is_number(base) and _is_number(new):
+        if is_timing_path(path):
+            if base > 0:
+                pct = (new - base) / base * 100.0
+            else:
+                pct = 0.0 if new <= 0 else math.inf
+            if pct > threshold_pct:
+                return Delta(
+                    path, base, new, "regression",
+                    f"+{pct:.1f}% > threshold {threshold_pct:g}%",
+                )
+            return Delta(path, base, new, "ok", f"{pct:+.1f}% (wall time)")
+        if math.isclose(base, new, rel_tol=1e-9, abs_tol=1e-12):
+            return Delta(path, base, new, "ok")
+        return Delta(path, base, new, "drift", "invariant metric changed")
+    if base != new:
+        return Delta(path, base, new, "drift", "invariant metric changed")
+    return Delta(path, base, new, "ok")
+
+
+def compare_reports(
+    baseline: RunReport, new: RunReport, threshold_pct: float = 25.0
+) -> ReportDiff:
+    """Diff two RunReports leaf-by-leaf (see module docstring for the
+    semantics).  ``phases`` are compared as wall-times under ``phases.``."""
+    flat_base = flatten_metrics(baseline.metrics)
+    flat_new = flatten_metrics(new.metrics)
+    flat_base.update(flatten_metrics(baseline.phases, "phases"))
+    flat_new.update(flatten_metrics(new.phases, "phases"))
+
+    deltas: list[Delta] = []
+    for path in sorted(set(flat_base) | set(flat_new)):
+        if path not in flat_new:
+            deltas.append(
+                Delta(path, flat_base[path], None, "removed",
+                      "metric missing from new report")
+            )
+        elif path not in flat_base:
+            deltas.append(
+                Delta(path, None, flat_new[path], "added",
+                      "metric not in baseline (regenerate baselines)")
+            )
+        else:
+            deltas.append(
+                _compare_leaf(path, flat_base[path], flat_new[path],
+                              threshold_pct)
+            )
+    return ReportDiff(deltas=deltas, threshold_pct=threshold_pct)
+
+
+def iter_report_paths(directory: str | Path) -> Iterator[Path]:
+    """All RunReport JSON files in ``directory``, sorted by name (skips
+    files that fail to parse as a report)."""
+    for path in sorted(Path(directory).glob("*.json")):
+        try:
+            RunReport.load(path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        yield path

@@ -376,11 +376,13 @@ def _stall_event(
                 head=head,
                 occupancy=occupancy,
                 detail=detail,
+                cause="barrier",
             )
     missing = [p for p in graph.predecessors(node) if p not in completion]
     if missing:
         blocker = max(missing, key=lambda p: position[p])
         detail = f"{node} waits on unissued predecessor {blocker}"
+        cause = "predecessor"
     else:
         rt = ready_time(node)
         if rt is not None and rt > cycle:
@@ -392,8 +394,10 @@ def _stall_event(
                 f"{node} waits on {blocker} "
                 f"(completes {completion[blocker]}, latency {lat})"
             )
+            cause = "dependence"
         else:
             detail = f"{node} ready but no free {graph.fu_class(node)} unit"
+            cause = "resource"
     return SimEvent(
         cycle=cycle,
         kind="stall",
@@ -401,6 +405,7 @@ def _stall_event(
         head=head,
         occupancy=occupancy,
         detail=detail,
+        cause=cause,
     )
 
 

@@ -14,7 +14,7 @@ from repro.core import Schedule, algorithm_lookahead
 from repro.ir import graph_from_edges
 from repro.machine import paper_machine
 from repro.sim import simulate_trace
-from repro.workloads import figure2_trace
+from repro.workloads import figure2_trace, random_trace
 
 
 class TestScalarMetrics:
@@ -35,6 +35,12 @@ class TestScalarMetrics:
             geometric_mean([])
         with pytest.raises(ValueError):
             geometric_mean([1.0, -1.0])
+
+    def test_error_messages_name_the_offending_value(self):
+        with pytest.raises(ValueError, match=r"got 0"):
+            speedup(10, 0)
+        with pytest.raises(ValueError, match=r"got -1\.0 at index 1"):
+            geometric_mean([1.0, -1.0, 2.0])
 
 
 class TestScheduleMetrics:
@@ -71,3 +77,33 @@ class TestScheduleMetrics:
         orders = [list(t.block_nodes(i)) for i in range(2)]
         sim = simulate_trace(t, orders, m)
         assert overlap_cycles(t, sim.schedule) == 0
+
+    def test_idle_stats_to_dict(self):
+        g = graph_from_edges([], nodes=["a", "b"])
+        st = idle_stats(Schedule(g, {"a": 0, "b": 3}))
+        d = st.to_dict()
+        assert d["count"] == 2 and d["first"] == 1 and d["last"] == 2
+        assert d["mean_position"] == pytest.approx(st.mean_position)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("window", [2, 4])
+    def test_overlap_cycles_matches_quadratic_reference(self, seed, window):
+        # The O(n) running-max implementation must agree with the direct
+        # quadratic definition: an issue "overlaps" when any earlier-issued
+        # instruction comes from a later block.
+        def quadratic(trace, schedule):
+            perm = schedule.permutation()
+            count = 0
+            for i, node in enumerate(perm):
+                b = trace.block_index(node)
+                if any(trace.block_index(e) > b for e in perm[:i]):
+                    count += 1
+            return count
+
+        m = paper_machine(window)
+        t = random_trace(
+            4, (4, 7), edge_probability=0.3, cross_probability=0.08,
+            latencies=(0, 1, 2, 4), seed=seed,
+        )
+        sim = simulate_trace(t, algorithm_lookahead(t, m).block_orders, m)
+        assert overlap_cycles(t, sim.schedule) == quadratic(t, sim.schedule)

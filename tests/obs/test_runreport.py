@@ -1,0 +1,152 @@
+"""Tests for RunReport documents, provenance, and the comparison gate."""
+
+import json
+
+import pytest
+
+from repro.machine import paper_machine
+from repro.obs import (
+    RUNREPORT_SCHEMA_VERSION,
+    RunReport,
+    collect_provenance,
+    compare_reports,
+    flatten_metrics,
+    is_timing_path,
+)
+from repro.obs.runreport import iter_report_paths
+
+
+def make_report(**metrics) -> RunReport:
+    base = {"makespan": 11, "stalls": 2, "runs": [{"wall_s": 1.0}]}
+    base.update(metrics)
+    return RunReport(name="t", metrics=base, phases={"rank": 0.5})
+
+
+class TestRunReportDocument:
+    def test_round_trip_via_file(self, tmp_path):
+        r = make_report()
+        r.provenance = collect_provenance(machine=paper_machine(2), seed=7)
+        path = r.write(tmp_path / "r.json")
+        back = RunReport.load(path)
+        assert back.to_dict() == r.to_dict()
+        assert back.schema_version == RUNREPORT_SCHEMA_VERSION
+
+    def test_from_dict_requires_metrics(self):
+        with pytest.raises(ValueError, match="metrics"):
+            RunReport.from_dict({"name": "x"})
+
+    def test_from_dict_rejects_future_schema(self):
+        doc = make_report().to_dict()
+        doc["schema_version"] = RUNREPORT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            RunReport.from_dict(doc)
+
+    def test_from_dict_rejects_bad_version(self):
+        doc = make_report().to_dict()
+        doc["schema_version"] = "two"
+        with pytest.raises(ValueError, match="schema_version"):
+            RunReport.from_dict(doc)
+
+    def test_v1_documents_still_load(self):
+        # v1: the original ad-hoc emit_metrics shape, no phases/provenance.
+        r = RunReport.from_dict(
+            {"name": "old", "schema_version": 1, "metrics": {"x": 1}}
+        )
+        assert r.schema_version == 1 and r.phases == {}
+
+
+class TestProvenance:
+    def test_standard_fields(self):
+        p = collect_provenance(machine=paper_machine(4), seed=3, smoke=True)
+        assert p["machine"]["window_size"] == 4
+        assert p["seed"] == 3 and p["smoke"] is True
+        assert p["python"].count(".") == 2
+        assert "-" in p["platform"]
+
+    def test_git_sha_present_in_repo(self):
+        p = collect_provenance()
+        assert len(p.get("git_sha", "0" * 40)) == 40
+
+
+class TestFlattenAndTiming:
+    def test_flatten_nested(self):
+        flat = flatten_metrics({"a": {"b": [1, {"c": 2}]}, "d": 3})
+        assert flat == {"a.b.0": 1, "a.b.1.c": 2, "d": 3}
+
+    def test_timing_paths(self):
+        assert is_timing_path("runs.0.wall_s")
+        assert is_timing_path("phase_wall_s.rank")
+        assert is_timing_path("rank_delay_wall_ns")
+        assert not is_timing_path("makespan")
+        assert not is_timing_path("stalls")  # ends in s, not _s
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        diff = compare_reports(make_report(), make_report())
+        assert diff.ok and diff.changed() == []
+
+    def test_invariant_drift_fails_both_directions(self):
+        for new_makespan in (10, 12):
+            diff = compare_reports(
+                make_report(), make_report(makespan=new_makespan)
+            )
+            assert not diff.ok
+            assert diff.failures[0].metric == "makespan"
+            assert diff.failures[0].status == "drift"
+
+    def test_wall_time_within_threshold_is_noise(self):
+        diff = compare_reports(
+            make_report(), make_report(runs=[{"wall_s": 1.2}]),
+            threshold_pct=25.0,
+        )
+        assert diff.ok
+
+    def test_wall_time_beyond_threshold_regresses(self):
+        diff = compare_reports(
+            make_report(), make_report(runs=[{"wall_s": 1.5}]),
+            threshold_pct=25.0,
+        )
+        assert not diff.ok
+        assert diff.failures[0].status == "regression"
+        assert "threshold" in diff.failures[0].note
+
+    def test_wall_time_improvement_never_fails(self):
+        diff = compare_reports(
+            make_report(), make_report(runs=[{"wall_s": 0.01}]),
+            threshold_pct=25.0,
+        )
+        assert diff.ok
+
+    def test_phases_are_thresholded_not_invariant(self):
+        a, b = make_report(), make_report()
+        b.phases = {"rank": 0.55}  # +10% — noise at 25%
+        assert compare_reports(a, b).ok
+        b.phases = {"rank": 5.0}
+        diff = compare_reports(a, b)
+        assert not diff.ok and diff.failures[0].metric == "phases.rank"
+
+    def test_removed_metric_fails(self):
+        a = make_report(extra=1)
+        diff = compare_reports(a, make_report())
+        assert not diff.ok
+        assert diff.failures[0].status == "removed"
+
+    def test_added_metric_warns_only(self):
+        diff = compare_reports(make_report(), make_report(extra=1))
+        assert diff.ok
+        assert [d.status for d in diff.changed()] == ["added"]
+
+    def test_non_numeric_drift(self):
+        diff = compare_reports(
+            make_report(order="a b c"), make_report(order="b a c")
+        )
+        assert not diff.ok and diff.failures[0].status == "drift"
+
+
+class TestIterReportPaths:
+    def test_skips_non_reports(self, tmp_path):
+        make_report().write(tmp_path / "good.json")
+        (tmp_path / "junk.json").write_text("not json")
+        (tmp_path / "other.json").write_text(json.dumps({"no": "metrics"}))
+        assert [p.name for p in iter_report_paths(tmp_path)] == ["good.json"]

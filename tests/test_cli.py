@@ -146,6 +146,90 @@ class TestTrace:
         assert "not a repro trace" in capsys.readouterr().err
 
 
+@pytest.fixture
+def report_pair(tmp_path):
+    """Two RunReport files: a baseline and an identical copy."""
+    from repro.obs import RunReport
+
+    base = RunReport(
+        name="bench",
+        metrics={"makespan": 11, "stalls": 2, "runs": [{"wall_s": 1.0}]},
+        phases={"rank": 0.25, "merge": 0.05},
+        provenance={"seed": 0},
+    )
+    base_path = tmp_path / "baseline.json"
+    new_path = tmp_path / "new.json"
+    base.write(base_path)
+    base.write(new_path)
+    return base, base_path, new_path
+
+
+class TestReport:
+    def test_report_on_runreport_json(self, report_pair, capsys):
+        _, base_path, _ = report_pair
+        assert main(["report", str(base_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench" in out and "makespan" in out
+        assert "rank" in out  # phases table
+
+    def test_report_markdown(self, report_pair, capsys):
+        _, base_path, _ = report_pair
+        assert main(["report", str(base_path), "--markdown"]) == 0
+        assert "| metric |" in capsys.readouterr().out
+
+    def test_report_on_trace_jsonl(self, prog, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["schedule", prog, "-w", "2", "--trace", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.cycles" in out and "sim.stall." in out
+        assert "stall attribution" in out
+
+    def test_report_rejects_non_report(self, prog, capsys):
+        assert main(["report", prog]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent/r.json"]) == 2
+
+
+class TestCompare:
+    def test_identical_reports_exit_zero(self, report_pair, capsys):
+        _, base_path, new_path = report_pair
+        assert main(["compare", str(base_path), str(new_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_makespan_regression_exits_nonzero(
+        self, report_pair, capsys
+    ):
+        base, base_path, new_path = report_pair
+        base.metrics["makespan"] = 13  # injected regression
+        base.write(new_path)
+        assert main(["compare", str(base_path), str(new_path)]) == 1
+        out = capsys.readouterr().out
+        assert "makespan" in out and "FAIL" in out
+
+    def test_wall_time_respects_threshold(self, report_pair, capsys):
+        base, base_path, new_path = report_pair
+        base.metrics["runs"] = [{"wall_s": 1.4}]
+        base.write(new_path)
+        assert main(["compare", str(base_path), str(new_path),
+                     "--threshold", "50"]) == 0
+        assert main(["compare", str(base_path), str(new_path),
+                     "--threshold", "10"]) == 1
+
+    def test_negative_threshold_is_an_error(self, report_pair, capsys):
+        _, base_path, new_path = report_pair
+        assert main(["compare", str(base_path), str(new_path),
+                     "--threshold", "-5"]) == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_missing_baseline_is_an_error(self, report_pair, capsys):
+        _, _, new_path = report_pair
+        assert main(["compare", "/nonexistent/b.json", str(new_path)]) == 2
+
+
 class TestDot:
     def test_trace_dot_to_stdout(self, prog, capsys):
         assert main(["dot", prog]) == 0
