@@ -15,10 +15,8 @@ structured data rather than scraping tables.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pathlib
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.analysis import format_table
@@ -29,6 +27,7 @@ from repro.obs import (
     collect_provenance,
     recording,
 )
+from repro.robust.sweep import SweepError, run_sweep_robust
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -103,7 +102,13 @@ def sweep_jobs() -> int:
 
 
 def run_sweep(
-    fn: Callable, params: Sequence[object], jobs: int | None = None
+    fn: Callable,
+    params: Sequence[object],
+    jobs: int | None = None,
+    *,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    checkpoint: str | os.PathLike | None = None,
 ) -> list:
     """Map ``fn`` over ``params`` — the independent cells of an experiment
     sweep — returning results in input order.
@@ -112,17 +117,26 @@ def run_sweep(
     are treated as 1-tuples).  With ``jobs`` (default :func:`sweep_jobs`)
     greater than one the cells fan out over a fork-based process pool, so
     ``fn`` must be a module-level callable; cells must not depend on shared
-    mutable state.  Exceptions propagate to the caller either way, so shape
-    assertions inside ``fn`` still fail the benchmark.
+    mutable state.
+
+    Built on :func:`repro.robust.sweep.run_sweep_robust`: a worker crash or
+    hang no longer aborts the sweep mid-flight — every sibling cell is still
+    driven to completion (and checkpointed, when ``checkpoint`` is given)
+    before a :class:`repro.robust.sweep.SweepError` listing the failed cells
+    is raised.  Shape assertions inside ``fn`` therefore still fail the
+    benchmark, just without discarding the surviving results (available on
+    the exception's ``.results``).
     """
-    calls = [p if isinstance(p, tuple) else (p,) for p in params]
     if jobs is None:
         jobs = sweep_jobs()
-    jobs = max(1, min(jobs, len(calls)))
-    if jobs == 1:
-        return [fn(*args) for args in calls]
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-        futures = [pool.submit(fn, *args) for args in calls]
-        return [f.result() for f in futures]
+    res = run_sweep_robust(
+        fn,
+        params,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        checkpoint=checkpoint,
+    )
+    if res.failures:
+        raise SweepError(res.failures, res.results)
+    return res.results

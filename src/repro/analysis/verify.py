@@ -66,3 +66,36 @@ def verify_scheduler_output(
     """All checks; raises :class:`OutputError` on the first failure."""
     check_block_orders(trace, block_orders)
     check_runtime_legality(trace, block_orders, machine)
+
+
+def check_sim_result(graph, result) -> None:
+    """Internal-consistency checks on a :class:`~repro.sim.window.SimResult`
+    — the invariants the fault-injection fuzz driver holds every simulated
+    execution to, faulted or not:
+
+    - the issue order is a permutation of the graph's nodes;
+    - when a cycle-level trace was collected, its stall count and the
+      per-cause :func:`~repro.obs.metrics.stall_attribution` breakdown both
+      agree with ``result.stall_cycles`` (every stalled cycle is attributed
+      exactly once).
+    """
+    if sorted(result.issue_order) != sorted(graph.nodes):
+        raise OutputError(
+            "issue order is not a permutation of the graph nodes "
+            f"(got {len(result.issue_order)} of {len(graph)} instructions)"
+        )
+    if result.trace is not None:
+        from ..obs.metrics import stall_attribution
+
+        if result.trace.stall_cycles != result.stall_cycles:
+            raise OutputError(
+                f"trace counted {result.trace.stall_cycles} stall cycles, "
+                f"simulator reported {result.stall_cycles}"
+            )
+        attribution = stall_attribution(result.trace)
+        total = sum(attribution.values())
+        if total != result.stall_cycles:
+            raise OutputError(
+                f"stall attribution sums to {total}, expected "
+                f"{result.stall_cycles} ({attribution})"
+            )

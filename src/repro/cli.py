@@ -11,6 +11,9 @@ Usage (also via ``python -m repro``)::
     repro ranks prog.s --deadline 100
     repro loop prog.s --window 2 --iterations 8
     repro dot prog.s -o deps.dot
+    repro fuzz --seeds 16 --min-cells 500
+    repro sweep --windows 2,3,4 --seeds 8 --jobs 4 --checkpoint ck.jsonl
+    repro sweep --windows 2,3,4 --seeds 8 --checkpoint ck.jsonl --resume
 
 ``prog.s`` uses the textual format of :mod:`repro.ir.parser` (see its
 docstring or ``examples/``); ``loop`` treats a single-block program as a
@@ -323,6 +326,95 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the differential fault-injection fuzz matrix (chaos smoke)."""
+    from .robust.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        time_budget_s=args.budget_s,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    if not report.ok:
+        print(
+            f"error: {len(report.violations)} invariant violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_cells and report.num_cells < args.min_cells:
+        print(
+            f"error: only {report.num_cells} cells ran, --min-cells "
+            f"requires {args.min_cells}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Crash-tolerant demo sweep: anticipatory vs per-block-local makespan
+    over a windows×seeds grid, with checkpoint/resume."""
+    from .robust.sweep import SweepFailure, run_sweep_robust, schedule_cell
+
+    try:
+        windows = [int(x) for x in args.windows.split(",") if x.strip()]
+    except ValueError:
+        windows = []
+    if not windows or any(w < 1 for w in windows):
+        print(
+            f"error: malformed --windows {args.windows!r} "
+            "(expected comma-separated positive ints)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.checkpoint and not args.resume:
+        # A fresh sweep must not silently reuse a stale checkpoint.
+        Path(args.checkpoint).unlink(missing_ok=True)
+
+    params = [(w, s) for w in windows for s in range(args.seeds)]
+    res = run_sweep_robust(
+        schedule_cell,
+        params,
+        jobs=args.jobs,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+    )
+    rows = []
+    for (w, s), value in zip(params, res.results):
+        if isinstance(value, SweepFailure):
+            rows.append([w, s, "-", "-", "-", value.error_type])
+        else:
+            _, _, ant, local, stalls = value
+            rows.append([w, s, ant, local, stalls, "ok"])
+    text = format_table(
+        ["W", "seed", "anticipatory", "local", "stalls", "status"],
+        rows,
+        title=f"anticipatory vs per-block-local makespan ({len(params)} cells)",
+    )
+    print(text)
+    print(
+        f"cells: {res.completed}/{len(params)} completed, "
+        f"{res.resumed} resumed, {res.attempts} attempts, "
+        f"{res.pool_restarts} pool restarts"
+    )
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    if res.failures:
+        for failure in res.failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     if args.loop:
         blocks = parse_program(Path(args.file).read_text())
@@ -394,6 +486,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="derive and render the loop dependence graph")
     p.add_argument("--output", "-o", default=None)
     p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fault-injection fuzz of the scheduler zoo "
+             "(nonzero exit on invariant violations)",
+    )
+    p.add_argument("--seeds", type=int, default=8,
+                   help="number of random traces to fuzz (default 8)")
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--budget-s", type=float, default=None, metavar="SEC",
+                   help="stop starting new seeds after SEC seconds")
+    p.add_argument("--min-cells", type=int, default=0, metavar="N",
+                   help="fail (exit 1) unless at least N cells ran")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "sweep",
+        help="crash-tolerant demo sweep (anticipatory vs per-block-local "
+             "makespan) with checkpoint/resume",
+    )
+    p.add_argument("--windows", default="2,3,4", metavar="W1,W2,...",
+                   help="comma-separated lookahead window sizes (default 2,3,4)")
+    p.add_argument("--seeds", type=int, default=8,
+                   help="random-trace seeds per window (default 8)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1: in-process)")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="JSONL checkpoint appended to as cells complete")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed cells from --checkpoint instead of "
+                        "starting fresh")
+    p.add_argument("--timeout-s", type=float, default=None, metavar="SEC",
+                   help="declare running cells hung when no cell completes "
+                        "for SEC seconds (jobs > 1)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per failed cell (default 1)")
+    p.add_argument("--output", "-o", metavar="FILE", default=None,
+                   help="also write the result table to FILE")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "trace",

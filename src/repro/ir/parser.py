@@ -20,36 +20,55 @@ basic block.  :func:`parse_program` returns the named instruction sequences;
 
 from __future__ import annotations
 
+import re
+
 from .basicblock import Trace
 from .builder import build_trace
 from .instruction import ANY, Instruction
 
 
 class ParseError(ValueError):
-    """Raised on malformed program text, with a 1-based line number."""
+    """Raised on malformed program text, with a 1-based line number and —
+    when the error is attributable to a specific token — a 1-based column."""
 
-    def __init__(self, lineno: int, message: str) -> None:
-        super().__init__(f"line {lineno}: {message}")
+    def __init__(self, lineno: int, message: str, col: int | None = None) -> None:
+        where = f"line {lineno}" if col is None else f"line {lineno}, column {col}"
+        super().__init__(f"{where}: {message}")
         self.lineno = lineno
+        self.col = col
 
 
 _LIST_KEYS = {"defs", "uses", "loads", "stores"}
 _INT_KEYS = {"lat", "time"}
 _STR_KEYS = {"op", "fu"}
 
+#: A token plus the 1-based column its first character sits at.
+_TOKEN_RE = re.compile(r"\S+")
 
-def _parse_instruction(lineno: int, tokens: list[str], seen: set[str]) -> Instruction:
-    name = tokens[0]
+
+def _tokenize(raw: str) -> list[tuple[int, str]]:
+    """Split a comment-stripped source line into ``(column, token)`` pairs,
+    preserving each token's position in the original line."""
+    code = raw.split("#", 1)[0]
+    return [(m.start() + 1, m.group()) for m in _TOKEN_RE.finditer(code)]
+
+
+def _parse_instruction(
+    lineno: int, tokens: list[tuple[int, str]], seen: set[str]
+) -> Instruction:
+    name_col, name = tokens[0]
     if name in seen:
-        raise ParseError(lineno, f"duplicate instruction name {name!r}")
+        raise ParseError(
+            lineno, f"duplicate instruction name {name!r}", col=name_col
+        )
     attrs: dict[str, object] = {}
     is_branch = False
-    for tok in tokens[1:]:
+    for col, tok in tokens[1:]:
         if tok == "branch":
             is_branch = True
             continue
         if "=" not in tok:
-            raise ParseError(lineno, f"expected key=value, got {tok!r}")
+            raise ParseError(lineno, f"expected key=value, got {tok!r}", col=col)
         key, _, value = tok.partition("=")
         if key in _LIST_KEYS:
             attrs[key] = tuple(v for v in value.split(",") if v)
@@ -57,11 +76,15 @@ def _parse_instruction(lineno: int, tokens: list[str], seen: set[str]) -> Instru
             try:
                 attrs[key] = int(value)
             except ValueError:
-                raise ParseError(lineno, f"{key} needs an integer, got {value!r}")
+                raise ParseError(
+                    lineno,
+                    f"{key} needs an integer, got {value!r}",
+                    col=col + len(key) + 1,  # point at the value, not the key
+                )
         elif key in _STR_KEYS:
             attrs[key] = value
         else:
-            raise ParseError(lineno, f"unknown attribute {key!r}")
+            raise ParseError(lineno, f"unknown attribute {key!r}", col=col)
     try:
         return Instruction(
             name=name,
@@ -76,7 +99,7 @@ def _parse_instruction(lineno: int, tokens: list[str], seen: set[str]) -> Instru
             is_branch=is_branch,
         )
     except ValueError as exc:
-        raise ParseError(lineno, str(exc)) from exc
+        raise ParseError(lineno, str(exc), col=name_col) from exc
 
 
 def parse_program(text: str) -> list[tuple[str, list[Instruction]]]:
@@ -85,20 +108,28 @@ def parse_program(text: str) -> list[tuple[str, list[Instruction]]]:
     seen: set[str] = set()
     current: list[Instruction] | None = None
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
+        tokens = _tokenize(raw)
+        if not tokens:
             continue
-        tokens = line.split()
-        if tokens[0] == "block":
+        if tokens[0][1] == "block":
             if len(tokens) != 2:
-                raise ParseError(lineno, "block takes exactly one name")
-            if any(name == tokens[1] for name, _ in blocks):
-                raise ParseError(lineno, f"duplicate block name {tokens[1]!r}")
+                raise ParseError(
+                    lineno, "block takes exactly one name", col=tokens[0][0]
+                )
+            name_col, block_name = tokens[1]
+            if any(name == block_name for name, _ in blocks):
+                raise ParseError(
+                    lineno, f"duplicate block name {block_name!r}", col=name_col
+                )
             current = []
-            blocks.append((tokens[1], current))
+            blocks.append((block_name, current))
             continue
         if current is None:
-            raise ParseError(lineno, "instruction before any 'block' directive")
+            raise ParseError(
+                lineno,
+                "instruction before any 'block' directive",
+                col=tokens[0][0],
+            )
         instr = _parse_instruction(lineno, tokens, seen)
         seen.add(instr.name)
         current.append(instr)

@@ -80,6 +80,21 @@ class MachineModel:
         """True iff every node's fu class has at least one usable unit."""
         return all(self.units_for(graph.fu_class(n)) for n in graph.nodes)
 
+    def with_window(self, window_size: int) -> "MachineModel":
+        """A copy of this machine with a different lookahead window.
+
+        Used by fault injection (window wobble, see
+        :func:`repro.robust.faults.perturbed_machine`) and by sweeps that
+        vary W over a fixed unit mix.
+        """
+        if window_size == self.window_size:
+            return self
+        return MachineModel(
+            window_size=window_size,
+            fu_counts=dict(self.fu_counts),
+            issue_width=self.issue_width,
+        )
+
 
 def single_unit_machine(window_size: int = 4) -> MachineModel:
     """The paper's core machine: one universal FU, window W."""

@@ -21,6 +21,7 @@ from ..machine.model import MachineModel, single_unit_machine
 from ..core.schedule import Schedule, Unit
 from ..obs import recorder as obs
 from ..obs.events import SimEvent, SimTrace
+from ..robust import faults
 
 
 class SimulationDeadlock(RuntimeError):
@@ -30,7 +31,11 @@ class SimulationDeadlock(RuntimeError):
     Diagnostic attributes (``None`` for the generic convergence guard):
     ``node`` — the blocked window instruction; ``dependence`` — its unmet
     predecessor; ``window`` — the ``(head, head + W)`` stream span the
-    window covered when progress stopped.
+    window covered when progress stopped; ``window_nodes`` — the unissued
+    instructions the window held at that point.  ``injected`` is True when
+    the deadlock was raised by an active fault plan
+    (:class:`repro.robust.faults.FaultPlan.deadlock_after`) rather than by
+    the stream's own dependences.
     """
 
     def __init__(
@@ -39,11 +44,15 @@ class SimulationDeadlock(RuntimeError):
         node: str | None = None,
         dependence: str | None = None,
         window: tuple[int, int] | None = None,
+        window_nodes: tuple[str, ...] = (),
+        injected: bool = False,
     ) -> None:
         super().__init__(message)
         self.node = node
         self.dependence = dependence
         self.window = window
+        self.window_nodes = tuple(window_nodes)
+        self.injected = injected
 
 
 @dataclass
@@ -98,16 +107,48 @@ def simulate_window(
     Raises :class:`SimulationDeadlock` for streams whose dependences point
     more than W−1 positions forward (cannot occur for streams derived from
     valid per-block schedules of a trace).
+
+    An active :class:`~repro.robust.faults.FaultPlan` (see
+    :func:`repro.robust.faults.injection`) perturbs this execution: extra
+    dependence latency, a wobbling effective window, corrupted streams
+    (rejected by the permutation check below) and injected deadlocks.  With
+    no plan installed — the default — none of the fault hooks cost more
+    than a ``None`` test.
     """
     machine = machine or single_unit_machine()
+    fstate = faults.fault_state(stream)
+    if fstate is not None:
+        stream = fstate.perturb_stream(stream)
     if sorted(stream) != sorted(graph.nodes):
-        raise ValueError("stream must be a permutation of the graph nodes")
+        nodes = set(graph.nodes)
+        missing = sorted(nodes - set(stream))
+        unknown = sorted(set(stream) - nodes)
+        counts: dict[str, int] = {}
+        for s in stream:
+            counts[s] = counts.get(s, 0) + 1
+        duplicated = sorted(s for s, c in counts.items() if c > 1)
+        details = [
+            f"{label} {names}"
+            for label, names in (
+                ("missing", missing),
+                ("duplicated", duplicated),
+                ("unknown", unknown),
+            )
+            if names
+        ]
+        raise ValueError(
+            "stream must be a permutation of the graph nodes"
+            + (f" ({'; '.join(details)})" if details else "")
+        )
     if not machine.can_execute(graph):
         raise ValueError("machine lacks a functional unit for some instruction")
     barriers = dict(barriers or {})
 
     n = len(stream)
     w = machine.window_size
+    # Effective window for the current head position; redrawn at every
+    # window advance when a fault plan wobbles it, otherwise constant.
+    w_eff = w if fstate is None else fstate.effective_window(w)
     width = machine.issue_width or machine.total_units
     position = {node: i for i, node in enumerate(stream)}
 
@@ -151,7 +192,7 @@ def simulate_window(
 
     def window_occupancy() -> int:
         """Unissued instructions currently visible to the issue logic."""
-        return sum(1 for i in range(head, min(head + w, n)) if not issued[i])
+        return sum(1 for i in range(head, min(head + w_eff, n)) if not issued[i])
 
     def ready_time(node: str) -> int | None:
         """Earliest issue time permitted by dependences and barriers, or None
@@ -160,6 +201,8 @@ def simulate_window(
         for p, lat in graph.predecessors(node).items():
             if p not in completion:
                 return None
+            if fstate is not None:
+                lat += fstate.latency_extra(p, node)
             t = max(t, completion[p] + lat)
         if barriers_before is not None:
             k = barriers_before[position[node]]
@@ -206,10 +249,39 @@ def simulate_window(
         + sum(barriers.values())
         + n
         + 1
+        + (fstate.guard_slack(graph.num_edges()) if fstate is not None else 0)
     )
     while head < n:
+        if fstate is not None and fstate.deadlock_due(len(issue_order)):
+            exc = SimulationDeadlock(
+                f"injected spurious deadlock at cycle {time} after "
+                f"{len(issue_order)} issues (fault plan "
+                f"{fstate.plan.name!r}); window spans [{head}, "
+                f"{head + w_eff})",
+                node=stream[head],
+                window=(head, head + w_eff),
+                window_nodes=tuple(
+                    stream[i]
+                    for i in range(head, min(head + w_eff, n))
+                    if not issued[i]
+                ),
+                injected=True,
+            )
+            if trace_obj is not None:
+                trace_obj.events.append(
+                    SimEvent(
+                        cycle=time,
+                        kind="deadlock",
+                        node=exc.node,
+                        head=head,
+                        occupancy=window_occupancy(),
+                        detail=str(exc),
+                    )
+                )
+                obs.publish_sim_trace(trace_obj)
+            raise exc
         issued_this_cycle = 0
-        for i in range(head, min(head + w, n)):
+        for i in range(head, min(head + w_eff, n)):
             if issued[i]:
                 continue
             node = stream[i]
@@ -253,6 +325,8 @@ def simulate_window(
                 c = prefix_completion_max[head - 1]
             prefix_completion_max[head] = c
             head += 1
+        if head > old_head and fstate is not None:
+            w_eff = fstate.effective_window(w)
         if trace_obj is not None and head > old_head:
             trace_obj.events.append(
                 SimEvent(
@@ -271,7 +345,7 @@ def simulate_window(
         # only limiter.
         events: list[int] = []
         blocked_now = False
-        for i in range(head, min(head + w, n)):
+        for i in range(head, min(head + w_eff, n)):
             if issued[i]:
                 continue
             rt = ready_time(stream[i])
@@ -287,7 +361,9 @@ def simulate_window(
         elif events:
             next_time = min(events)
         else:
-            exc = _deadlock(graph, stream, head, w, n, completion, position, time)
+            exc = _deadlock(
+                graph, stream, head, w_eff, n, completion, position, time
+            )
             if trace_obj is not None:
                 trace_obj.events.append(
                     SimEvent(
@@ -420,9 +496,12 @@ def _deadlock(
     time: int,
 ) -> SimulationDeadlock:
     """Build a diagnostic deadlock exception naming the blocked head
-    instruction, its unmet dependence, and the current window span."""
+    instruction, its unmet dependence, and the current window span and
+    contents."""
     node = stream[head]
     window_end = min(head + w, n)
+    window_nodes = tuple(stream[head:window_end])
+    contents = " ".join(window_nodes)
     missing = [p for p in graph.predecessors(node) if p not in completion]
     blocker = max(missing, key=lambda p: position[p]) if missing else None
     if blocker is not None:
@@ -435,15 +514,21 @@ def _deadlock(
             f"simulation deadlock at cycle {time}: '{node}' (stream position "
             f"{head}) waits on '{blocker}' (stream position "
             f"{position[blocker]}, {where}); window spans [{head}, "
-            f"{head + w}) — window too small for the stream's dependences"
+            f"{head + w}) holding [{contents}] — window too small for the "
+            f"stream's dependences"
         )
     else:  # pragma: no cover - unreachable for well-formed streams
         message = (
             f"simulation deadlock at cycle {time}: no instruction in the "
-            f"window [{head}, {head + w}) can ever become ready"
+            f"window [{head}, {head + w}) holding [{contents}] can ever "
+            f"become ready"
         )
     return SimulationDeadlock(
-        message, node=node, dependence=blocker, window=(head, head + w)
+        message,
+        node=node,
+        dependence=blocker,
+        window=(head, head + w),
+        window_nodes=window_nodes,
     )
 
 
@@ -463,6 +548,10 @@ def simulate_trace(
     leading boundary, and ``misprediction_penalty`` flush cycles are added
     (the paper's safety story: eagerly executed instructions of the wrong
     path are rolled back by hardware).
+
+    An active fault plan with ``mispredict_rate > 0`` forces additional
+    block entries mispredicted (seeded, at the plan's own penalty) — the
+    load-anomaly scenario the per-block safety contract must survive.
     """
     machine = machine or single_unit_machine()
     orders = [list(o) for o in block_orders]
@@ -473,11 +562,19 @@ def simulate_trace(
             raise ValueError(f"order for block {i} is not a permutation of it")
     stream: list[str] = [n for order in orders for n in order]
     mispredicted = set(mispredicted_blocks)
+    penalty_of = {i: misprediction_penalty for i in mispredicted}
+    plan = faults.active_plan()
+    if plan is not None and plan.mispredict_rate > 0.0:
+        rng = plan.rng("trace.mispredict", trace.num_blocks)
+        for i in range(1, trace.num_blocks):
+            if rng.random() < plan.mispredict_rate and i not in mispredicted:
+                mispredicted.add(i)
+                penalty_of[i] = plan.mispredict_penalty
     barriers: dict[int, int] = {}
     boundary = 0
     for i, order in enumerate(orders):
         if i > 0 and i in mispredicted:
-            barriers[boundary] = misprediction_penalty
+            barriers[boundary] = penalty_of[i]
         boundary += len(order)
     with obs.span(
         "sim.trace", blocks=trace.num_blocks, instructions=len(stream)

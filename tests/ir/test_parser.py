@@ -97,6 +97,61 @@ class TestParseErrors:
             raise AssertionError("expected ParseError")
 
 
+class TestParseErrorColumns:
+    """Errors attributable to a token name its 1-based line AND column."""
+
+    @staticmethod
+    def _fail(text: str) -> ParseError:
+        with pytest.raises(ParseError) as info:
+            parse_program(text)
+        return info.value
+
+    def test_message_names_line_and_column(self):
+        exc = self._fail("block A\n  a defs=r1 wat=1")
+        assert "line 2, column 13: unknown attribute 'wat'" in str(exc)
+        assert exc.lineno == 2
+        assert exc.col == 13
+
+    def test_bad_integer_points_at_value(self):
+        # "  b lat=abc" -> the value 'abc' starts at column 9.
+        exc = self._fail("block A\n  b lat=abc")
+        assert exc.col == 9
+        assert "line 2, column 9" in str(exc)
+
+    def test_missing_equals_points_at_token(self):
+        exc = self._fail("block A\n  a defs=r1  uses")
+        assert exc.col == 14
+
+    def test_duplicate_instruction_points_at_name(self):
+        exc = self._fail("block A\n a defs=r1\n    a defs=r2")
+        assert exc.lineno == 3
+        assert exc.col == 5
+
+    def test_duplicate_block_points_at_name(self):
+        exc = self._fail("block A\n a defs=r1\nblock  A\n b defs=r2")
+        assert exc.lineno == 3
+        assert exc.col == 8
+
+    def test_instruction_before_block_points_at_token(self):
+        exc = self._fail("   a defs=r1")
+        assert exc.lineno == 1
+        assert exc.col == 4
+
+    def test_column_survives_trailing_comment(self):
+        exc = self._fail("block A\n  a wat=1  # not the error column")
+        assert exc.col == 5
+
+    def test_file_level_errors_have_no_column(self):
+        exc = self._fail("# nothing\n")
+        assert exc.col is None
+        assert str(exc).startswith("empty program") or "line 1:" in str(exc)
+
+    def test_bad_fu_class_points_at_instruction(self):
+        exc = self._fail("block A\n  a fu=warp")
+        assert exc.lineno == 2
+        assert exc.col == 3
+
+
 class TestParseTrace:
     def test_figure3_dependences_match_manual_graph(self):
         """The parsed Figure 3 text must derive the same loop-independent

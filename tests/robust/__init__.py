@@ -1,0 +1,2 @@
+"""Tests for the robustness subsystem (fault injection, guarded
+scheduling, crash-tolerant sweeps)."""

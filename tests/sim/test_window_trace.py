@@ -129,6 +129,37 @@ class TestDeadlockDiagnostics:
         assert "'b'" in message and "'a'" in message
         assert "[0, 1)" in message
 
+    def test_shape1_blocker_beyond_window(self):
+        # Shape 1: the head instruction's blocker sits entirely beyond the
+        # window, so it can never enter and complete.
+        g = graph_from_edges([("a", "b", 0)])
+        with pytest.raises(SimulationDeadlock) as exc_info:
+            simulate_window(g, ["b", "a"], paper_machine(1))
+        exc = exc_info.value
+        assert exc.node == "b"
+        assert exc.dependence == "a"
+        assert exc.window == (0, 1)
+        assert exc.window_nodes == ("b",)
+        message = str(exc)
+        assert "beyond the window" in message
+        assert "holding [b]" in message
+
+    def test_shape2_blocker_blocked_inside_window(self):
+        # Shape 2: the blocker IS in the window, but is itself blocked on an
+        # instruction beyond it — the window holds [x, y]; x waits on y,
+        # which waits on z at stream position 3.
+        g = graph_from_edges([("y", "x", 0), ("z", "y", 0)], nodes=["w"])
+        with pytest.raises(SimulationDeadlock) as exc_info:
+            simulate_window(g, ["x", "y", "w", "z"], paper_machine(2))
+        exc = exc_info.value
+        assert exc.node == "x"
+        assert exc.dependence == "y"
+        assert exc.window == (0, 2)
+        assert exc.window_nodes == ("x", "y")
+        message = str(exc)
+        assert "itself blocked inside the window" in message
+        assert "holding [x y]" in message
+
     def test_deadlock_event_published_to_recorder(self):
         g = graph_from_edges([("a", "b", 0)])
         with recording(TraceRecorder()) as rec:

@@ -63,6 +63,75 @@ class TestSchedule:
         assert "parse error" in capsys.readouterr().err
 
 
+class TestFuzz:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-injection fuzz" in out
+        assert "TOTAL" in out
+
+    def test_json_report(self, capsys):
+        assert main(["fuzz", "--seeds", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["num_cells"] > 0
+        assert "by_fault" in doc
+
+    def test_min_cells_gate(self, capsys):
+        assert main(["fuzz", "--seeds", "1", "--min-cells", "100000"]) == 1
+        assert "--min-cells" in capsys.readouterr().err
+
+    def test_budget_stops_early(self, capsys):
+        assert main(["fuzz", "--seeds", "500", "--budget-s", "0.05"]) == 0
+        assert "budget hit" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_table_and_exit_zero(self, capsys):
+        assert main(["sweep", "--windows", "2,3", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "anticipatory" in out and "4/4 completed" in out
+
+    def test_malformed_windows(self, capsys):
+        assert main(["sweep", "--windows", "2,x"]) == 2
+        assert "malformed --windows" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["sweep", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_interrupted_then_resumed_is_byte_identical(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        full, partial, resumed = (
+            str(tmp_path / name)
+            for name in ("full.txt", "partial.txt", "resumed.txt")
+        )
+        grid = ["--windows", "2,3", "--seeds", "3"]
+        assert main(["sweep", *grid, "--output", full]) == 0
+        # "Interrupt" a checkpointed sweep after its first window...
+        assert main(
+            ["sweep", "--windows", "2", "--seeds", "3",
+             "--checkpoint", ck, "--output", partial]
+        ) == 0
+        # ...then resume the full grid from the same checkpoint.
+        assert main(
+            ["sweep", *grid, "--checkpoint", ck, "--resume",
+             "--output", resumed]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 resumed" in out
+        with open(full, "rb") as a, open(resumed, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_fresh_sweep_clears_stale_checkpoint(self, tmp_path, capsys):
+        ck = tmp_path / "ck.jsonl"
+        ck.write_text('{"v": 1, "index": 0, "pickle": "garbage"}\n')
+        assert main(
+            ["sweep", "--windows", "2", "--seeds", "1", "--checkpoint", str(ck)]
+        ) == 0
+        assert "0 resumed" in capsys.readouterr().out
+
+
 class TestRanks:
     def test_ranks_table(self, fig3, capsys):
         assert main(["ranks", fig3, "--deadline", "100"]) == 0
