@@ -101,6 +101,15 @@ def sweep_jobs() -> int:
         return 1
 
 
+def sweep_telemetry_dir() -> str | None:
+    """Spool directory for cross-process sweep telemetry: the
+    ``REPRO_SPOOL_DIR`` environment variable, or ``None`` (telemetry off).
+    When set, every benchmark sweep spools per-cell worker telemetry there
+    (readable live via ``repro top``) and merges it into the active
+    recorder at sweep end."""
+    return os.environ.get("REPRO_SPOOL_DIR") or None
+
+
 def run_sweep(
     fn: Callable,
     params: Sequence[object],
@@ -109,6 +118,7 @@ def run_sweep(
     timeout_s: float | None = None,
     retries: int = 0,
     checkpoint: str | os.PathLike | None = None,
+    telemetry_dir: str | os.PathLike | None = None,
 ) -> list:
     """Map ``fn`` over ``params`` — the independent cells of an experiment
     sweep — returning results in input order.
@@ -129,6 +139,8 @@ def run_sweep(
     """
     if jobs is None:
         jobs = sweep_jobs()
+    if telemetry_dir is None:
+        telemetry_dir = sweep_telemetry_dir()
     res = run_sweep_robust(
         fn,
         params,
@@ -136,6 +148,7 @@ def run_sweep(
         timeout_s=timeout_s,
         retries=retries,
         checkpoint=checkpoint,
+        telemetry_dir=telemetry_dir,
     )
     if res.failures:
         raise SweepError(res.failures, res.results)

@@ -14,6 +14,10 @@ Usage (also via ``python -m repro``)::
     repro fuzz --seeds 16 --min-cells 500
     repro sweep --windows 2,3,4 --seeds 8 --jobs 4 --checkpoint ck.jsonl
     repro sweep --windows 2,3,4 --seeds 8 --checkpoint ck.jsonl --resume
+    repro sweep --faults --jobs 2 --spool-dir spool/ --report sweep.json
+    repro top spool/ --interval 1
+    repro metrics spool/ -o metrics.prom
+    repro flame --repeat 20 -o flame.html --max-overhead 5
 
 ``prog.s`` uses the textual format of :mod:`repro.ir.parser` (see its
 docstring or ``examples/``); ``loop`` treats a single-block program as a
@@ -184,9 +188,25 @@ def cmd_trace(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: not a repro trace file: {exc}", file=sys.stderr)
         return 2
-    if not any(r.get("type") == "meta" for r in records):
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    if meta is None:
         print("error: not a repro trace file (no meta record)", file=sys.stderr)
         return 2
+    # Schema v1 files carry no trace_id/pid fields; everything below treats
+    # them as absent, so either version replays.
+    if meta.get("trace_id"):
+        span_pids = sorted(
+            {
+                r["pid"]
+                for r in records
+                if r.get("type") == "span" and r.get("pid") is not None
+            }
+        )
+        procs = f", {len(span_pids)} process(es)" if span_pids else ""
+        print(
+            f"trace {meta['trace_id']} "
+            f"(format v{meta.get('version', 1)}{procs})"
+        )
     sim_traces = sim_traces_from_records(records)
     if not sim_traces:
         print("no simulator events in this trace "
@@ -219,6 +239,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if len(sim_traces) > 1:
         print(f"all simulations: {total_stalls} stall cycles")
     spans = [r for r in records if r.get("type") == "span"]
+    # Timestamp-order spans before aggregating: a v2 file merged from worker
+    # spools interleaves records from several processes, not one stream
+    # (fork children share the parent's monotonic clock base).
+    spans.sort(key=lambda s: s.get("start_us", 0))
     if spans:
         stats: dict[str, tuple[int, float]] = {}
         for s in spans:
@@ -233,6 +257,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(format_table(["phase", "calls", "total ms"], rows,
                            title="pipeline phase wall time"))
+        per_pid: dict[int, tuple[int, float]] = {}
+        for s in spans:
+            pid = s.get("pid")
+            if pid is None:
+                continue
+            calls, total = per_pid.get(pid, (0, 0.0))
+            per_pid[pid] = (calls + 1, total + s["dur_us"] / 1000)
+        if len(per_pid) > 1:
+            rows = [
+                [pid, calls, f"{total:.3f}"]
+                for pid, (calls, total) in sorted(per_pid.items())
+            ]
+            print()
+            print(format_table(["pid", "spans", "total ms"], rows,
+                               title="per-process span activity"))
+    counters = [r for r in records if r.get("type") == "counter"]
+    if counters:
+        rows = [[c["name"], c["value"]]
+                for c in sorted(counters, key=lambda c: c["name"])]
+        print()
+        print(format_table(["counter", "value"], rows, title="counters"))
     return 0
 
 
@@ -355,10 +400,52 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_report(res, params, args) -> "RunReport":
+    """A RunReport over the sweep's merged worker telemetry: every merged
+    counter and per-span-name call count is invariant (so ``repro compare``
+    between a ``--jobs 1`` and a ``--jobs N`` run of the same grid is the
+    cross-process parity gate); wall-times land under timing keys, which
+    comparisons threshold rather than pin."""
+    from .obs.runreport import collect_provenance
+
+    merge = res.telemetry
+    metrics: dict[str, object] = dict(sorted(merge.counters.items()))
+    metrics["cells"] = len(merge.cells)
+    metrics["cells_ok"] = sum(1 for c in merge.cells if c.ok)
+    metrics["failures"] = len(res.failures)
+    phases: dict[str, float] = {}
+    for name, durations in sorted(merge.span_durations().items()):
+        metrics[f"span.{name}.count"] = len(durations)
+        metrics[f"span.{name}.wall_s"] = sum(durations)
+        phases[name] = sum(durations)
+    return RunReport(
+        name="sweep",
+        metrics=metrics,
+        phases=phases,
+        provenance=collect_provenance(
+            cells=len(params),
+            jobs=args.jobs,
+            faults=bool(args.faults),
+            workers=len(merge.pids),
+            trace_id=merge.cells[0].trace_id if merge.cells else None,
+        ),
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Crash-tolerant demo sweep: anticipatory vs per-block-local makespan
-    over a windows×seeds grid, with checkpoint/resume."""
-    from .robust.sweep import SweepFailure, run_sweep_robust, schedule_cell
+    over a windows×seeds grid, with checkpoint/resume.  ``--faults`` swaps
+    in the guarded fault-injected cell; ``--spool-dir`` turns on the
+    cross-process telemetry pipeline; ``--report`` writes the merged
+    telemetry as a RunReport."""
+    import tempfile
+
+    from .robust.sweep import (
+        SweepFailure,
+        guarded_cell,
+        run_sweep_robust,
+        schedule_cell,
+    )
 
     try:
         windows = [int(x) for x in args.windows.split(",") if x.strip()]
@@ -379,39 +466,175 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.checkpoint).unlink(missing_ok=True)
 
     params = [(w, s) for w in windows for s in range(args.seeds)]
-    res = run_sweep_robust(
-        schedule_cell,
-        params,
-        jobs=args.jobs,
-        timeout_s=args.timeout_s,
-        retries=args.retries,
-        checkpoint=args.checkpoint,
-    )
-    rows = []
-    for (w, s), value in zip(params, res.results):
-        if isinstance(value, SweepFailure):
-            rows.append([w, s, "-", "-", "-", value.error_type])
+    cell_fn = guarded_cell if args.faults else schedule_cell
+    spool_dir = args.spool_dir
+    tmp_spool = None
+    if args.report and spool_dir is None:
+        # --report needs merged telemetry even without a user spool dir.
+        tmp_spool = tempfile.TemporaryDirectory(prefix="repro-spool-")
+        spool_dir = tmp_spool.name
+    try:
+        res = run_sweep_robust(
+            cell_fn,
+            params,
+            jobs=args.jobs,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            telemetry_dir=spool_dir,
+        )
+        rows = []
+        if args.faults:
+            for (w, s), value in zip(params, res.results):
+                if isinstance(value, SweepFailure):
+                    rows.append([w, s, "-", "-", "-", value.error_type])
+                else:
+                    _, _, makespan, source, plan = value
+                    rows.append(
+                        [w, s, makespan if makespan >= 0 else "-",
+                         source, plan, "ok"]
+                    )
+            text = format_table(
+                ["W", "seed", "makespan", "source", "fault plan", "status"],
+                rows,
+                title=f"guarded scheduling under fault injection "
+                      f"({len(params)} cells)",
+            )
         else:
-            _, _, ant, local, stalls = value
-            rows.append([w, s, ant, local, stalls, "ok"])
-    text = format_table(
-        ["W", "seed", "anticipatory", "local", "stalls", "status"],
-        rows,
-        title=f"anticipatory vs per-block-local makespan ({len(params)} cells)",
+            for (w, s), value in zip(params, res.results):
+                if isinstance(value, SweepFailure):
+                    rows.append([w, s, "-", "-", "-", value.error_type])
+                else:
+                    _, _, ant, local, stalls = value
+                    rows.append([w, s, ant, local, stalls, "ok"])
+            text = format_table(
+                ["W", "seed", "anticipatory", "local", "stalls", "status"],
+                rows,
+                title=f"anticipatory vs per-block-local makespan "
+                      f"({len(params)} cells)",
+            )
+        print(text)
+        print(
+            f"cells: {res.completed}/{len(params)} completed, "
+            f"{res.resumed} resumed, {res.attempts} attempts, "
+            f"{res.pool_restarts} pool restarts"
+        )
+        if res.telemetry is not None:
+            print(
+                f"telemetry: {len(res.telemetry.cells)} cell(s) spooled by "
+                f"{len(res.telemetry.pids)} worker(s)"
+            )
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"wrote {args.output}")
+        if args.report:
+            path = _sweep_report(res, params, args).write(args.report)
+            print(f"report: wrote {path}")
+        if res.failures:
+            for failure in res.failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if tmp_spool is not None:
+            tmp_spool.cleanup()
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    """Profile a scheduling workload with the sampling profiler and write a
+    flamegraph HTML (plus optional collapsed stacks / overhead gate)."""
+    from .obs.profiler import (
+        collapsed_stacks,
+        profile,
+        profile_overhead,
+        write_flamegraph,
     )
-    print(text)
+
+    machine = _machine(args)
+    if args.file:
+        trace = _load_trace(args.file)
+        label = args.file
+    else:
+        # The E10 reference workload (benchmarks/bench_scaling.py): 4 blocks
+        # of 20 instructions at W=4 — the size the <5% overhead gate uses.
+        from .workloads.traces import random_trace
+
+        trace = random_trace(
+            4, 20, edge_probability=0.2, cross_probability=0.05,
+            latencies=(0, 1, 2), seed=0,
+        )
+        label = "E10 workload (4x20, W=4)"
+
+    def workload() -> None:
+        for _ in range(args.repeat):
+            orders = algorithm_lookahead(trace, machine).block_orders
+            simulate_trace(trace, orders, machine)
+
+    interval_s = args.interval_ms / 1000.0
+    measure_overhead = args.overhead or args.max_overhead is not None
+    overhead = None
+    if measure_overhead:
+        overhead, prof = profile_overhead(workload, interval_s=interval_s)
+    else:
+        _, prof = profile(workload, interval_s=interval_s)
     print(
-        f"cells: {res.completed}/{len(params)} completed, "
-        f"{res.resumed} resumed, {res.attempts} attempts, "
-        f"{res.pool_restarts} pool restarts"
+        f"profiled {label}: {prof.sample_count} samples "
+        f"({len(prof.samples)} stacks, mode {prof.mode}, "
+        f"interval {args.interval_ms:g} ms)"
+    )
+    out = write_flamegraph(
+        args.output, prof.samples, title=f"repro flame — {label}"
+    )
+    print(f"flamegraph: wrote {out}")
+    if args.collapsed:
+        Path(args.collapsed).write_text(collapsed_stacks(prof.samples))
+        print(f"collapsed stacks: wrote {args.collapsed}")
+    if overhead is not None:
+        print(f"profiler overhead: {overhead * 100:.2f}%")
+        if args.max_overhead is not None and overhead * 100 > args.max_overhead:
+            print(
+                f"error: overhead {overhead * 100:.2f}% exceeds "
+                f"--max-overhead {args.max_overhead:g}%",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a spool directory's merged telemetry in Prometheus text
+    exposition format."""
+    from .obs.expo import prometheus_text
+    from .obs.pipeline import merge_spools
+
+    if not Path(args.spool_dir).is_dir():
+        print(f"error: {args.spool_dir} is not a directory", file=sys.stderr)
+        return 2
+    merge = merge_spools(args.spool_dir)
+    labels = {"trace_id": merge.cells[0].trace_id} if merge.cells else None
+    text = prometheus_text(
+        merge.registry(), namespace=args.namespace, labels=labels
     )
     if args.output:
-        Path(args.output).write_text(text + "\n")
+        Path(args.output).write_text(text)
         print(f"wrote {args.output}")
-    if res.failures:
-        for failure in res.failures:
-            print(f"error: {failure}", file=sys.stderr)
-        return 1
+    else:
+        sys.stdout.write(text)
+    if not merge.cells:
+        print("warning: no spooled cells found", file=sys.stderr)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running sweep's spool directory."""
+    from .obs.expo import watch_spools
+
+    if not Path(args.spool_dir).is_dir():
+        print(f"error: {args.spool_dir} is not a directory", file=sys.stderr)
+        return 2
+    watch_spools(
+        args.spool_dir, interval_s=args.interval_s, iterations=args.frames
+    )
     return 0
 
 
@@ -526,7 +749,68 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts per failed cell (default 1)")
     p.add_argument("--output", "-o", metavar="FILE", default=None,
                    help="also write the result table to FILE")
+    p.add_argument("--faults", action="store_true",
+                   help="run the fault-injected guarded cell instead of the "
+                        "plain comparison cell (exercises guard.*/faults.* "
+                        "telemetry)")
+    p.add_argument("--spool-dir", metavar="DIR", default=None,
+                   help="spool per-cell worker telemetry to DIR and merge it "
+                        "at sweep end (watch live with 'repro top DIR')")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write the merged telemetry as a RunReport JSON "
+                        "(counters and span counts invariant across --jobs)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "flame",
+        help="profile a scheduling workload with the sampling profiler and "
+             "write a flamegraph HTML",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="program to profile (default: the E10 scaling "
+                        "workload, 4 blocks x 20 instructions)")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="paper")
+    p.add_argument("--window", "-w", type=int, default=None,
+                   help="override the machine's lookahead window size")
+    p.add_argument("--repeat", type=int, default=20,
+                   help="schedule+simulate iterations to profile (default 20)")
+    p.add_argument("--interval-ms", type=float, default=5.0, metavar="MS",
+                   help="sampling interval in milliseconds (default 5)")
+    p.add_argument("--output", "-o", metavar="FILE", default="flame.html",
+                   help="flamegraph HTML path (default flame.html)")
+    p.add_argument("--collapsed", metavar="FILE", default=None,
+                   help="also write Brendan-Gregg collapsed stacks to FILE")
+    p.add_argument("--overhead", action="store_true",
+                   help="also measure profiler overhead (bare vs profiled "
+                        "wall-clock)")
+    p.add_argument("--max-overhead", type=float, default=None, metavar="PCT",
+                   help="exit 1 if measured overhead exceeds PCT percent "
+                        "(implies --overhead)")
+    p.set_defaults(func=cmd_flame)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render a spool directory's merged telemetry in Prometheus "
+             "text exposition format",
+    )
+    p.add_argument("spool_dir", help="spool directory of a telemetry sweep")
+    p.add_argument("--namespace", default="repro",
+                   help="metric name prefix (default 'repro')")
+    p.add_argument("--output", "-o", metavar="FILE", default=None,
+                   help="write the exposition to FILE instead of stdout")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a running sweep's spool directory "
+             "(per-phase rates, latency percentiles, guard/fault counters)",
+    )
+    p.add_argument("spool_dir", help="spool directory being written by a sweep")
+    p.add_argument("--interval", dest="interval_s", type=float, default=1.0,
+                   metavar="SEC", help="refresh interval (default 1s)")
+    p.add_argument("--frames", type=int, default=None, metavar="N",
+                   help="render N frames then exit (default: until Ctrl-C)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "trace",

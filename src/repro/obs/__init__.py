@@ -1,6 +1,8 @@
 """Observability: pipeline spans, counters, cycle-level simulator event
-traces, derived hardware-counter metrics, schema-versioned run reports, and
-exporters (JSONL, Chrome trace-event / Perfetto).
+traces, derived hardware-counter metrics, schema-versioned run reports,
+exporters (JSONL, Chrome trace-event / Perfetto), the cross-process
+telemetry pipeline (trace contexts + worker spools), a sampling profiler
+with flamegraph output, and Prometheus text exposition.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and usage guide.
 """
@@ -46,8 +48,48 @@ from .recorder import (
     sim_events_enabled,
     span,
 )
+from .pipeline import (
+    CellTelemetry,
+    SpoolMerge,
+    TraceContext,
+    clear_spools,
+    current_context,
+    merge_spools,
+    read_spools,
+    spool_path,
+    spooled_cell,
+)
+from .profiler import (
+    SamplingProfiler,
+    collapsed_stacks,
+    flamegraph_html,
+    parse_collapsed,
+    profile,
+    profile_overhead,
+    write_flamegraph,
+)
+from .expo import prometheus_text, top_snapshot, watch_spools
 
 __all__ = [
+    "CellTelemetry",
+    "SamplingProfiler",
+    "SpoolMerge",
+    "TraceContext",
+    "clear_spools",
+    "collapsed_stacks",
+    "current_context",
+    "flamegraph_html",
+    "merge_spools",
+    "parse_collapsed",
+    "profile",
+    "profile_overhead",
+    "prometheus_text",
+    "read_spools",
+    "spool_path",
+    "spooled_cell",
+    "top_snapshot",
+    "watch_spools",
+    "write_flamegraph",
     "Counter",
     "Delta",
     "EVENT_KINDS",

@@ -1,0 +1,239 @@
+"""Prometheus text exposition of :class:`~repro.obs.metrics.MetricsRegistry`
+and the ``repro top`` live terminal view.
+
+:func:`prometheus_text` renders a registry in the Prometheus text exposition
+format (version 0.0.4): counters become ``<ns>_<name>_total`` series,
+gauges plain series, and histograms the conventional cumulative
+``_bucket{le="..."}`` / ``_sum`` / ``_count`` triple.  Metric names are
+sanitised (dots and other invalid characters to ``_``); optional ``labels``
+are attached to every series — e.g. ``{"trace_id": ...}`` for a sweep.
+
+:func:`top_snapshot` renders one frame of the ``repro top`` view from a
+spool directory: per-phase call counts, completion rates, p50/p90/p99 span
+latencies, and the ``guard.*`` / ``faults.*`` / ``sweep.*`` reliability
+counters — readable while a sweep is still running, because workers flush
+their spool per completed cell.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from typing import Mapping, Sequence
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .pipeline import SpoolMerge, merge_spools
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid Prometheus metric name: invalid chars to ``_``, leading
+    digits prefixed."""
+    out = _NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _render_labels(labels: Mapping[str, object] | None) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        k = _LABEL_RE.sub("_", str(key))
+        v = str(labels[key]).replace("\\", r"\\").replace('"', r"\"")
+        parts.append(f'{k}="{v}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _merge_label_sets(
+    base: str, extra: Mapping[str, object] | None, **more
+) -> str:
+    merged: dict[str, object] = dict(extra or {})
+    merged.update(more)
+    return _render_labels(merged)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    registry: MetricsRegistry,
+    namespace: str = "repro",
+    labels: Mapping[str, object] | None = None,
+) -> str:
+    """The registry in Prometheus text exposition format, sorted by metric
+    name for deterministic output."""
+    ns = sanitize_metric_name(namespace)
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry[name]
+        base = f"{ns}_{sanitize_metric_name(name)}" if ns else sanitize_metric_name(name)
+        if isinstance(metric, Counter):
+            series = f"{base}_total"
+            lines.append(f"# HELP {series} Counter {name!r}.")
+            lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series}{_render_labels(labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {base} Gauge {name!r}.")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base}{_render_labels(labels)} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {base} Histogram {name!r}.")
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                le = _merge_label_sets(base, labels, le=_fmt(float(bound)))
+                lines.append(f"{base}_bucket{le} {cumulative}")
+            inf = _merge_label_sets(base, labels, le="+Inf")
+            lines.append(f"{base}_bucket{inf} {metric.count}")
+            lines.append(
+                f"{base}_sum{_render_labels(labels)} {_fmt(metric.total)}"
+            )
+            lines.append(
+                f"{base}_count{_render_labels(labels)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- repro top ----------------------------------------------------------------
+
+
+def _percentile(sorted_values: Sequence[float], p: float) -> float | None:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(len(sorted_values) * p / 100.0))
+    return sorted_values[rank - 1]
+
+
+#: Counter prefixes surfaced in the ``repro top`` reliability section.
+TOP_COUNTER_PREFIXES = ("guard.", "faults.", "sweep.", "fuzz.")
+
+
+def top_snapshot(
+    merge: SpoolMerge,
+    previous: SpoolMerge | None = None,
+    dt_s: float | None = None,
+    width: int = 78,
+) -> str:
+    """One rendered frame of the ``repro top`` view.
+
+    ``previous``/``dt_s`` (the prior snapshot and the seconds since it) turn
+    absolute counts into rates; without them the rate column shows ``-``.
+    """
+    lines: list[str] = []
+    cells = len(merge.cells)
+    pids = merge.pids
+    completed = sum(1 for c in merge.cells if c.ok)
+    head = (
+        f"cells {cells} ({completed} ok)  workers {len(pids)}"
+        f"  pids {','.join(str(p) for p in pids[:8])}"
+    )
+    if previous is not None and dt_s and dt_s > 0:
+        rate = (cells - len(previous.cells)) / dt_s
+        head += f"  throughput {rate:.1f} cells/s"
+    lines.append(head[:width])
+    lines.append("-" * min(width, len(head)))
+
+    durations = merge.span_durations()
+    prev_counts = (
+        {name: len(v) for name, v in previous.span_durations().items()}
+        if previous is not None
+        else {}
+    )
+    if durations:
+        lines.append(
+            f"{'phase':<24} {'calls':>7} {'rate/s':>8} "
+            f"{'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8} {'total s':>9}"
+        )
+        for name in sorted(durations, key=lambda n: -sum(durations[n])):
+            values = sorted(durations[name])
+            calls = len(values)
+            if previous is not None and dt_s and dt_s > 0:
+                rate = f"{(calls - prev_counts.get(name, 0)) / dt_s:8.1f}"
+            else:
+                rate = f"{'-':>8}"
+            p50, p90, p99 = (
+                _percentile(values, 50),
+                _percentile(values, 90),
+                _percentile(values, 99),
+            )
+            lines.append(
+                f"{name[:24]:<24} {calls:>7} {rate} "
+                f"{p50 * 1e3:8.2f} {p90 * 1e3:8.2f} {p99 * 1e3:8.2f} "
+                f"{sum(values):9.3f}"
+            )
+    else:
+        lines.append("(no spans spooled yet)")
+
+    counters = merge.counters
+    interesting = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(TOP_COUNTER_PREFIXES)
+    }
+    if interesting:
+        lines.append("")
+        lines.append("reliability counters:")
+        for name, value in interesting.items():
+            delta = ""
+            if previous is not None:
+                prev = previous.counters.get(name, 0)
+                if value != prev:
+                    delta = f"  (+{value - prev})"
+            lines.append(f"  {name:<38} {value:>10}{delta}")
+    return "\n".join(lines)
+
+
+def watch_spools(
+    directory: str,
+    interval_s: float = 1.0,
+    iterations: int | None = None,
+    out=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """The ``repro top`` loop: re-read ``directory`` every ``interval_s``
+    and print a fresh snapshot (ANSI clear between frames).  ``iterations``
+    bounds the number of frames (``None`` = until interrupted).  Returns the
+    number of frames rendered."""
+    import sys
+
+    out = out or sys.stdout
+    frames = 0
+    previous: SpoolMerge | None = None
+    last_t: float | None = None
+    try:
+        while iterations is None or frames < iterations:
+            merge = merge_spools(directory)
+            now = clock()
+            dt = (now - last_t) if last_t is not None else None
+            if frames:
+                out.write("\x1b[2J\x1b[H")
+            out.write(
+                f"repro top — {directory}  "
+                f"(refresh {interval_s:g}s, frame {frames + 1})\n"
+            )
+            out.write(top_snapshot(merge, previous, dt) + "\n")
+            out.flush()
+            previous, last_t = merge, now
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -8,10 +8,16 @@ Two output formats cover the two consumption modes:
   ``counter``, ``sim_trace`` (header) and ``sim`` (one event).
 - **Chrome trace-event JSON** (:func:`write_chrome_trace`) — openable in
   Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Pipeline
-  spans appear as nested slices on a "pipeline (wall time)" track
-  (microsecond timebase); each simulated execution gets its own
-  "simulator" track on a 1 cycle = 1 µs timebase with issue slices, stall
-  instants and a window-occupancy counter track.
+  spans appear as nested slices on a "pipeline (wall time)" track per
+  process (cross-process traces merged from worker spools keep one track
+  per worker pid, microsecond timebase); obs counters appear as Perfetto
+  counter ("C"-phase) timelines next to the spans; each simulated
+  execution gets its own "simulator" track on a 1 cycle = 1 µs timebase
+  with issue slices, stall instants and a window-occupancy counter track.
+
+Schema versions: v1 files carry no ``pid``/``trace_id`` on spans and no
+``counter_sample`` records; readers treat those fields as absent and still
+load v1 files (``repro trace`` replays either).
 """
 
 from __future__ import annotations
@@ -24,7 +30,9 @@ from .events import SimEvent, SimTrace, STALL_KINDS
 from .recorder import TraceRecorder
 
 JSONL_FORMAT = "repro-trace"
-JSONL_VERSION = 1
+#: v2 adds span ``pid``/``trace_id`` fields, ``counter_sample`` records and
+#: the meta ``trace_id``; v1 files remain loadable.
+JSONL_VERSION = 2
 
 _PID = 1
 _PIPELINE_TID = 1
@@ -38,6 +46,8 @@ def recorder_records(recorder: TraceRecorder) -> Iterator[dict]:
         "type": "meta",
         "format": JSONL_FORMAT,
         "version": JSONL_VERSION,
+        "trace_id": recorder.context.trace_id,
+        "pid": recorder.context.pid,
         "spans": len(recorder.spans),
         "sim_traces": len(recorder.sim_traces),
     }
@@ -45,6 +55,16 @@ def recorder_records(recorder: TraceRecorder) -> Iterator[dict]:
         yield s.to_dict()
     for name, value in sorted(recorder.counters.items()):
         yield {"type": "counter", "name": name, "value": value}
+    for t, name, value, pid in recorder.counter_samples:
+        # Same absolute perf_counter_ns//1000 timebase as span start_us, so
+        # replay can timestamp-order samples against spans across processes.
+        yield {
+            "type": "counter_sample",
+            "t_us": t // 1000,
+            "name": name,
+            "value": value,
+            "pid": pid,
+        }
     for i, trace in enumerate(recorder.sim_traces):
         yield {
             "type": "sim_trace",
@@ -99,11 +119,36 @@ def sim_traces_from_records(records: list[dict]) -> list[SimTrace]:
 
 
 def chrome_trace_events(recorder: TraceRecorder) -> list[dict]:
-    """The recorder's streams as Chrome trace-event dicts."""
-    events: list[dict] = [
-        _thread_meta(_PIPELINE_TID, "pipeline (wall time)"),
-    ]
+    """The recorder's streams as Chrome trace-event dicts.
+
+    Cross-process traces (worker spans merged from telemetry spools carry
+    their own ``pid``) get one "pipeline (wall time)" track per process,
+    and obs counters are emitted as Perfetto counter ("C"-phase) timelines
+    so counter trajectories render alongside the span slices.
+    """
+    own_pid = recorder.context.pid
+    span_pids = sorted(
+        {s.pid if s.pid is not None else own_pid for s in recorder.spans}
+        | {own_pid}
+    )
+    events: list[dict] = []
+    for pid in span_pids:
+        role = "parent" if pid == own_pid else f"worker {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro {role}"},
+            }
+        )
+        events.append(_thread_meta(_PIPELINE_TID, "pipeline (wall time)", pid))
     t0 = min((s.start_ns for s in recorder.spans), default=0)
+    if recorder.counter_samples:
+        t0 = min(t0, recorder.counter_samples[0][0]) if recorder.spans else (
+            recorder.counter_samples[0][0]
+        )
     for s in recorder.spans:
         events.append(
             {
@@ -112,20 +157,38 @@ def chrome_trace_events(recorder: TraceRecorder) -> list[dict]:
                 "ph": "X",
                 "ts": (s.start_ns - t0) / 1000,
                 "dur": s.duration_ns / 1000,
-                "pid": _PID,
+                "pid": s.pid if s.pid is not None else own_pid,
                 "tid": _PIPELINE_TID,
                 "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+            }
+        )
+    # Obs counters as Perfetto counter timelines, one series per
+    # (pid, counter name); the value is the recorder-cumulative total.
+    for t, name, value, pid in recorder.counter_samples:
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": (t - t0) / 1000,
+                "pid": pid,
+                "tid": _PIPELINE_TID,
+                "args": {"value": value},
             }
         )
     for i, trace in enumerate(recorder.sim_traces):
         tid = _SIM_TID_BASE + i
         label = trace.label or f"simulation {i}"
-        events.append(_thread_meta(tid, f"{label} (1 cycle = 1 µs)"))
-        events.extend(_sim_trace_events(trace, tid))
+        events.append(
+            _thread_meta(tid, f"{label} (1 cycle = 1 µs)", own_pid)
+        )
+        events.extend(_sim_trace_events(trace, tid, own_pid))
     return events
 
 
-def _sim_trace_events(trace: SimTrace, tid: int) -> Iterator[dict]:
+def _sim_trace_events(
+    trace: SimTrace, tid: int, pid: int = _PID
+) -> Iterator[dict]:
     for e in trace.events:
         if e.kind == "issue":
             yield {
@@ -134,7 +197,7 @@ def _sim_trace_events(trace: SimTrace, tid: int) -> Iterator[dict]:
                 "ph": "X",
                 "ts": e.cycle,
                 "dur": 1,
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"unit": e.unit, "head": e.head},
             }
@@ -145,7 +208,7 @@ def _sim_trace_events(trace: SimTrace, tid: int) -> Iterator[dict]:
                 "ph": "i",
                 "s": "t",
                 "ts": e.cycle,
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"detail": e.detail},
             }
@@ -155,17 +218,17 @@ def _sim_trace_events(trace: SimTrace, tid: int) -> Iterator[dict]:
                 "cat": "sim",
                 "ph": "C",
                 "ts": e.cycle,
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"occupancy": e.occupancy},
             }
 
 
-def _thread_meta(tid: int, name: str) -> dict:
+def _thread_meta(tid: int, name: str, pid: int = _PID) -> dict:
     return {
         "name": "thread_name",
         "ph": "M",
-        "pid": _PID,
+        "pid": pid,
         "tid": tid,
         "args": {"name": name},
     }

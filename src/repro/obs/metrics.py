@@ -102,6 +102,15 @@ class Histogram:
         self._max: float | None = None
 
     def observe(self, value: float, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(
+                f"histogram {self.name!r} cannot un-observe (n={n})"
+            )
+        if n == 0:
+            # A zero-weight observation must not touch min/max either —
+            # otherwise a later percentile() could report a value that was
+            # never actually observed.
+            return
         index = len(self.bounds)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
@@ -118,8 +127,23 @@ class Histogram:
         return self.total / self.count if self.count else None
 
     def percentile(self, p: float) -> float | None:
-        """The smallest bucket bound covering ``p`` percent of observations
-        (the true maximum for the overflow bucket)."""
+        """The smallest bucket bound covering ``p`` percent of observations.
+
+        Deterministic resolution, never interpolation:
+
+        - an **empty** histogram returns ``None`` for every ``p``;
+        - a percentile that lands in the **overflow bucket** (including the
+          case where *every* sample is above the last bound) returns the
+          true observed maximum — the only deterministic upper edge the
+          overflow bucket has;
+        - otherwise the inclusive upper bound of the covering bucket is
+          returned (exact when the bounds enumerate every possible value,
+          as the window-occupancy histogram's do).
+
+        ``p`` must satisfy ``0 < p <= 100``.
+        """
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile p must be in (0, 100], got {p!r}")
         if not self.count:
             return None
         target = max(1, math.ceil(self.count * p / 100.0))

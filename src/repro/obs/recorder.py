@@ -34,6 +34,7 @@ Exporters for JSONL and the Chrome trace-event format live in
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
@@ -53,6 +54,11 @@ class SpanRecord:
     #: Nesting depth at entry (0 = top level).
     depth: int
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: Process that recorded the span (cross-process traces interleave
+    #: spans from several pids; ``None`` on records loaded from old files).
+    pid: int | None = None
+    #: Trace the span belongs to (shared by every process of one session).
+    trace_id: str | None = None
 
     @property
     def duration_s(self) -> float:
@@ -66,9 +72,27 @@ class SpanRecord:
             "dur_us": self.duration_ns / 1000,
             "depth": self.depth,
         }
+        if self.pid is not None:
+            out["pid"] = self.pid
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        """Rebuild a span from its JSONL dict (schema v1 records carry no
+        ``pid``/``trace_id``; they load as ``None``)."""
+        return cls(
+            name=str(d["name"]),
+            start_ns=int(d["start_us"]) * 1000,
+            duration_ns=int(d["dur_us"] * 1000),
+            depth=int(d.get("depth", 0)),
+            attrs=dict(d.get("attrs", {})),
+            pid=d.get("pid"),
+            trace_id=d.get("trace_id"),
+        )
 
 
 class _Span:
@@ -90,14 +114,17 @@ class _Span:
 
     def __exit__(self, *exc) -> bool:
         end = time.perf_counter_ns()
-        self._recorder._stack.pop()
-        self._recorder.spans.append(
+        rec = self._recorder
+        rec._stack.pop()
+        rec.spans.append(
             SpanRecord(
                 name=self.name,
                 start_ns=self._start_ns,
                 duration_ns=end - self._start_ns,
                 depth=self._depth,
                 attrs=self.attrs,
+                pid=os.getpid(),
+                trace_id=rec.context.trace_id,
             )
         )
         return False
@@ -109,12 +136,32 @@ class TraceRecorder:
     ``sim_events`` controls whether window simulations started while this
     recorder is active collect cycle-level events (they are by far the
     largest stream; disable for pure wall-time profiling).
+    ``counter_samples`` controls whether each counter increment additionally
+    records a ``(t_ns, name, total, pid)`` sample, so counter *timelines*
+    can be exported (Perfetto "C" events) rather than just final totals.
+    ``context`` is the :class:`~repro.obs.pipeline.TraceContext` the
+    recorder stamps on its spans; worker processes receive a child context
+    derived from the parent's so a fanned-out sweep shares one trace id.
     """
 
-    def __init__(self, sim_events: bool = True) -> None:
+    def __init__(
+        self,
+        sim_events: bool = True,
+        counter_samples: bool = True,
+        context=None,
+    ) -> None:
+        if context is None:
+            from .pipeline import TraceContext
+
+            context = TraceContext.new()
+        self.context = context
         self.sim_events = sim_events
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, int] = {}
+        #: Timestamped counter increments: ``(perf_counter_ns, name,
+        #: cumulative total, pid)``; empty when ``counter_samples`` is off.
+        self.counter_samples: list[tuple[int, str, int, int]] = []
+        self._sample_counters = counter_samples
         self.sim_traces: list[SimTrace] = []
         self._stack: list[str] = []
 
@@ -122,7 +169,12 @@ class TraceRecorder:
         return _Span(self, name, attrs)
 
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        total = self.counters.get(name, 0) + n
+        self.counters[name] = total
+        if self._sample_counters:
+            self.counter_samples.append(
+                (time.perf_counter_ns(), name, total, os.getpid())
+            )
 
     def add_sim_trace(self, trace: SimTrace) -> None:
         self.sim_traces.append(trace)

@@ -43,6 +43,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Iterator, Sequence
 
 from ..machine.model import MachineModel
+from ..obs import recorder as obs
 
 
 @dataclass(frozen=True)
@@ -227,6 +228,8 @@ class FaultState:
         if extra is None:
             extra = self._lat_rng.randint(0, self.plan.latency_jitter)
             self._lat_extra[key] = extra
+            if extra > 0:
+                obs.count("faults.injected.latency_jitter")
         return extra
 
     def effective_window(self, base: int) -> int:
@@ -236,21 +239,29 @@ class FaultState:
         w = base + self._win_rng.randint(
             -self.plan.window_shrink, self.plan.window_grow
         )
-        return max(1, w)
+        w = max(1, w)
+        if w != base:
+            obs.count("faults.injected.window_wobble")
+        return w
 
     def perturb_stream(self, stream: Sequence[str]) -> list[str]:
         """Apply stream truncation/duplication (returns a new list)."""
         out = list(stream)
         if self.plan.truncate_stream and out:
             out.pop()
+            obs.count("faults.injected.stream_truncate")
         if self.plan.duplicate_stream and out:
             rng = self.plan.rng("sim.duplicate", len(out))
             out.insert(rng.randrange(len(out) + 1), out[rng.randrange(len(out))])
+            obs.count("faults.injected.stream_duplicate")
         return out
 
     def deadlock_due(self, issues: int) -> bool:
         """True once the injected-deadlock budget is exhausted."""
-        return self._issue_limit is not None and issues >= self._issue_limit
+        due = self._issue_limit is not None and issues >= self._issue_limit
+        if due:
+            obs.count("faults.injected.deadlock")
+        return due
 
     def guard_slack(self, num_edges: int) -> int:
         """Extra convergence-guard budget the injected faults may consume."""

@@ -54,6 +54,13 @@ from typing import Callable, Sequence
 import multiprocessing
 
 from ..obs import recorder as obs
+from ..obs.pipeline import (
+    SpoolMerge,
+    clear_spools,
+    current_context,
+    merge_spools,
+    spooled_cell,
+)
 
 
 @dataclass(frozen=True)
@@ -110,6 +117,8 @@ class SweepResult:
     attempts: int = 0
     #: Times a worker pool was recycled (crash or timeout).
     pool_restarts: int = 0
+    #: Merged worker telemetry (populated only for ``telemetry_dir`` sweeps).
+    telemetry: SpoolMerge | None = None
 
     @property
     def ok(self) -> bool:
@@ -177,6 +186,15 @@ def _normalize(params: Sequence[object]) -> list[tuple]:
     return [p if isinstance(p, tuple) else (p,) for p in params]
 
 
+def _telemetry_cell(fn: Callable, args: tuple, directory, context, cell: int):
+    """Run one cell under a spooled recorder so its spans, counters and sim
+    traces survive the worker process (module level so pools can pickle
+    it).  Exceptions propagate — a raising cell is still spooled
+    (``ok=False``) because it still *executed*."""
+    with spooled_cell(directory, context, cell):
+        return fn(*args)
+
+
 def run_sweep_robust(
     fn: Callable,
     params: Sequence[object],
@@ -186,6 +204,7 @@ def run_sweep_robust(
     retries: int = 1,
     backoff_s: float = 0.05,
     checkpoint: str | os.PathLike | None = None,
+    telemetry_dir: str | os.PathLike | None = None,
 ) -> SweepResult:
     """Map ``fn`` over ``params`` (argument tuples; bare values are
     1-tuples), surviving worker crashes, hangs and interruptions.
@@ -199,6 +218,15 @@ def run_sweep_robust(
     consulted before computing anything — pass the same path again to
     resume.  Returns a :class:`SweepResult`; failed cells appear as
     :class:`SweepFailure` entries instead of aborting the sweep.
+
+    ``telemetry_dir`` turns on the cross-process telemetry pipeline: every
+    cell execution (in-process or in a worker) runs under its own child
+    :class:`~repro.obs.pipeline.TraceContext` and is spooled to
+    ``telemetry_dir`` as it completes; at the end the spools are merged
+    into the active recorder (if any) and attached to the result as
+    ``result.telemetry``.  Counter totals and span-name counts are then
+    identical between ``jobs=1`` and ``jobs=N`` runs of the same grid —
+    only wall-clock differs.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -207,6 +235,27 @@ def run_sweep_robust(
     calls = _normalize(params)
     n = len(calls)
     result = SweepResult(results=[None] * n)
+
+    telemetry_ctx = None
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+        clear_spools(telemetry_dir)
+        telemetry_ctx = current_context()
+
+    def run_cell(i: int):
+        """Execute cell ``i`` in-process (spooled when telemetry is on)."""
+        if telemetry_ctx is not None:
+            return _telemetry_cell(
+                fn, calls[i], telemetry_dir,
+                telemetry_ctx.child(f"cell-{i}"), i,
+            )
+        return fn(*calls[i])
+
+    def finish() -> SweepResult:
+        """Merge worker spools into the active recorder before returning."""
+        if telemetry_dir is not None:
+            result.telemetry = merge_spools(telemetry_dir, obs.get_recorder())
+        return result
 
     done = load_checkpoint(checkpoint) if checkpoint is not None else {}
     ckpt_fh = None
@@ -248,7 +297,7 @@ def run_sweep_robust(
         attempts = {i: 0 for i in pending}
 
         if not pending:
-            return result
+            return finish()
         jobs = max(1, min(jobs, len(pending)))
 
         with obs.span("sweep", cells=n, jobs=jobs):
@@ -258,7 +307,7 @@ def run_sweep_robust(
                         attempts[i] += 1
                         result.attempts += 1
                         try:
-                            record(i, fn(*calls[i]))
+                            record(i, run_cell(i))
                             break
                         except Exception as exc:  # noqa: BLE001
                             if attempts[i] >= max_attempts:
@@ -267,12 +316,25 @@ def run_sweep_robust(
                                 )
                                 break
                             _time.sleep(backoff_s * (2 ** (attempts[i] - 1)))
-                return result
+                return finish()
 
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context(
                 "fork" if "fork" in methods else None
             )
+
+            def submit(pool: ProcessPoolExecutor, i: int) -> Future:
+                """Submit cell ``i``, spool-wrapped when telemetry is on."""
+                if telemetry_ctx is not None:
+                    return pool.submit(
+                        _telemetry_cell,
+                        fn,
+                        calls[i],
+                        os.fspath(telemetry_dir),
+                        telemetry_ctx.child(f"cell-{i}"),
+                        i,
+                    )
+                return pool.submit(fn, *calls[i])
 
             def settle(
                 i: int, exc: BaseException, label: str, retry_later: list[int]
@@ -303,7 +365,7 @@ def run_sweep_robust(
                 for i in cells:
                     attempts[i] += 1
                     result.attempts += 1
-                    futures[pool.submit(fn, *calls[i])] = i
+                    futures[submit(pool, i)] = i
                 retry_later: list[int] = []
                 broken = False
                 try:
@@ -393,7 +455,7 @@ def run_sweep_robust(
                     attempts[i] += 1
                     result.attempts += 1
                     p = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
-                    pools[p.submit(fn, *calls[i])] = (i, p)
+                    pools[submit(p, i)] = (i, p)
                     return True
 
                 for _ in range(jobs):
@@ -450,7 +512,7 @@ def run_sweep_robust(
                     _time.sleep(backoff_s * (2 ** max(0, max_attempt - 1)))
                     obs.count("sweep.retries", len(queue))
                     queue = sorted(queue)
-        return result
+        return finish()
     finally:
         if ckpt_fh is not None:
             ckpt_fh.close()
@@ -465,6 +527,7 @@ def run_sweep(
     retries: int = 1,
     backoff_s: float = 0.05,
     checkpoint: str | os.PathLike | None = None,
+    telemetry_dir: str | os.PathLike | None = None,
     strict: bool = True,
 ) -> list:
     """Strict façade over :func:`run_sweep_robust`: returns the plain
@@ -479,6 +542,7 @@ def run_sweep(
         retries=retries,
         backoff_s=backoff_s,
         checkpoint=checkpoint,
+        telemetry_dir=telemetry_dir,
     )
     if strict and res.failures:
         raise SweepError(res.failures, res.results)
@@ -517,3 +581,41 @@ def schedule_cell(
         local.makespan,
         anticipatory.stall_cycles,
     )
+
+
+def guarded_cell(
+    window: int, seed: int, num_blocks: int = 3, lo: int = 4, hi: int = 7
+) -> tuple[int, int, int, str, str]:
+    """Fault-injected variant of :func:`schedule_cell` (``repro sweep
+    --faults``): schedule a seeded random trace through
+    :class:`~repro.robust.guard.GuardedScheduler` under a fault plan drawn
+    deterministically from the default suite, then simulate the verified
+    order under the same injection.  Exercises the full ``guard.*`` /
+    ``faults.injected.*`` counter surface, and because the plan depends
+    only on ``seed``, a ``jobs=1`` and a ``jobs=N`` run of the same grid
+    inject byte-identical faults.  Returns ``(window, seed, makespan,
+    source, plan_name)`` with ``makespan=-1`` when the injected adversity
+    (deadlock, corrupted stream) stopped the simulation — the schedule
+    itself is still verified-legal.  Module level so pools can pickle it."""
+    from ..machine.presets import paper_machine
+    from ..sim.window import SimulationDeadlock, simulate_trace
+    from ..workloads.traces import random_trace
+    from . import faults
+    from .guard import GuardedScheduler
+
+    machine = paper_machine(window)
+    trace = random_trace(
+        num_blocks, (lo, hi), edge_probability=0.3,
+        cross_probability=0.1, seed=seed,
+    )
+    plans = faults.default_fault_plans(seed=seed)
+    plan = plans[seed % len(plans)]
+    guard = GuardedScheduler(machine=machine)
+    with faults.injection(plan):
+        guarded = guard.schedule(trace)
+        try:
+            sim = simulate_trace(trace, guarded.block_orders, machine)
+            makespan = sim.makespan
+        except (SimulationDeadlock, ValueError):
+            makespan = -1
+    return (window, seed, makespan, guarded.source, plan.name)

@@ -570,6 +570,7 @@ def simulate_trace(
             if rng.random() < plan.mispredict_rate and i not in mispredicted:
                 mispredicted.add(i)
                 penalty_of[i] = plan.mispredict_penalty
+                obs.count("faults.injected.mispredict")
     barriers: dict[int, int] = {}
     boundary = 0
     for i, order in enumerate(orders):

@@ -210,3 +210,87 @@ class TestSimMetricsRegistryReuse:
         sim_metrics(res.trace, r, prefix="sim.1.")
         d = r.to_dict()
         assert d["sim.0.cycles"] == d["sim.1.cycles"] == 4
+
+
+class TestHistogramProperties:
+    """Property tests (hypothesis) for the percentile edge-case contract:
+    empty histograms answer None, all-overflow answers the true observed
+    maximum, and in between the answer is a deterministic bucket bound that
+    is monotone in p and bounds the observations."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    bounds_st = st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=6,
+        unique=True,
+    )
+    values_st = st.lists(
+        st.integers(min_value=0, max_value=100), min_size=0, max_size=40
+    )
+    p_st = st.floats(
+        min_value=0.001, max_value=100.0,
+        allow_nan=False, allow_infinity=False,
+    )
+
+    @staticmethod
+    def _build(bounds, values):
+        h = Histogram("h", bounds)
+        for v in values:
+            h.observe(v)
+        return h
+
+    @settings(max_examples=80)
+    @given(bounds=bounds_st, values=values_st, p=p_st)
+    def test_percentile_total_and_deterministic(self, bounds, values, p):
+        h = self._build(bounds, values)
+        q = h.percentile(p)
+        if not values:
+            assert q is None
+        else:
+            # Always answers, from a closed set: a bucket bound or the max.
+            assert q in set(h.bounds) | {max(values)}
+            assert h.percentile(p) == q  # repeatable
+
+    @settings(max_examples=60)
+    @given(bounds=bounds_st, values=values_st)
+    def test_percentile_monotone_in_p(self, bounds, values):
+        h = self._build(bounds, values)
+        qs = [h.percentile(p) for p in (1, 25, 50, 75, 90, 99, 100)]
+        if values:
+            assert all(a <= b for a, b in zip(qs, qs[1:]))
+        else:
+            assert qs == [None] * len(qs)
+
+    @settings(max_examples=60)
+    @given(bounds=bounds_st, values=values_st.filter(bool))
+    def test_p100_bounds_every_observation(self, bounds, values):
+        h = self._build(bounds, values)
+        assert h.percentile(100) >= max(values)
+
+    @settings(max_examples=60)
+    @given(bounds=bounds_st, extra=st.lists(
+        st.integers(min_value=1, max_value=100), min_size=1, max_size=10))
+    def test_all_overflow_answers_observed_max(self, bounds, extra):
+        # Every observation strictly above the last bound → overflow bucket.
+        top = max(bounds)
+        values = [top + e for e in extra]
+        h = self._build(bounds, values)
+        for p in (1, 50, 100):
+            assert h.percentile(p) == max(values)
+
+    @settings(max_examples=40)
+    @given(bounds=bounds_st, values=values_st)
+    def test_zero_weight_observation_is_invisible(self, bounds, values):
+        h = self._build(bounds, values)
+        before = h.to_value()
+        h.observe(12345, n=0)
+        assert h.to_value() == before
+
+    @settings(max_examples=40)
+    @given(bounds=bounds_st, p=st.one_of(
+        st.just(0), st.just(-5.0), st.just(100.001), st.just(101)))
+    def test_p_out_of_range_rejected(self, bounds, p):
+        h = self._build(bounds, [1])
+        with pytest.raises(ValueError, match="percentile"):
+            h.percentile(p)

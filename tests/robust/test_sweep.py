@@ -213,3 +213,47 @@ class TestBenchmarksFacade:
         monkeypatch.setenv("REPRO_JOBS", "2")
         assert common.sweep_jobs() == 2
         assert common.run_sweep(square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+
+class TestSpoolCrashSafety:
+    """ISSUE PR 7 satellite: a worker killed via ``os._exit`` mid-cell must
+    leave a *readable* spool — every completed cell's telemetry recovered
+    into the merge, the dying cell's line simply absent (never torn)."""
+
+    def test_dead_worker_spool_recovers_completed_cells(self, tmp_path):
+        from repro.obs import recording
+        from repro.obs.pipeline import read_spools
+
+        with recording() as rec:
+            res = run_sweep_robust(
+                hard_exit, [0, 1, 2, 3, 4, 5], jobs=2, retries=1,
+                backoff_s=0.001, telemetry_dir=tmp_path,
+            )
+
+        # The sweep behaves exactly as without telemetry: the dead cell is
+        # a BrokenProcessPool failure, every sibling completes.
+        assert isinstance(res.results[2], SweepFailure)
+        assert res.results[2].error_type == "BrokenProcessPool"
+        for i in (0, 1, 3, 4, 5):
+            assert res.results[i] == i * 10
+
+        # The spool files parse cleanly despite the uncleanly-dead worker:
+        # os._exit skips the cell's append, so its line is absent — not
+        # half-written.  (Torn-line tolerance is belt-and-braces on top.)
+        cells = read_spools(tmp_path)
+        spooled = {c.cell for c in cells}
+        assert 2 not in spooled
+        assert spooled == {0, 1, 3, 4, 5}
+        assert all(c.ok for c in cells)
+
+        # Completed cells were recovered into the merged telemetry and the
+        # session recorder — one sweep.cell span per completed execution
+        # (retries may re-execute a sibling that was in flight when the
+        # pool broke, so >= is the correct bound).
+        merge = res.telemetry
+        assert merge is not None
+        assert {c.cell for c in merge.cells} == spooled
+        assert len(merge.cells) >= 5
+        recovered = [s for s in rec.spans if s.name == "sweep.cell"]
+        assert len(recovered) == len(merge.cells)
+        assert {s.attrs["cell"] for s in recovered} == spooled

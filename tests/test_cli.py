@@ -309,3 +309,115 @@ class TestDot:
         assert main(["dot", fig3, "--loop", "-o", str(out_path)]) == 0
         assert "digraph" in out_path.read_text()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestSweepTelemetry:
+    def test_faults_table_and_spool(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert main(
+            ["sweep", "--faults", "--windows", "3", "--seeds", "3",
+             "--spool-dir", str(spool)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out and "3/3 completed" in out
+        assert "telemetry:" in out
+        assert list(spool.glob("spool-*.jsonl"))
+
+    def test_report_written_without_spool_dir(self, tmp_path, capsys):
+        report = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--faults", "--windows", "3", "--seeds", "2",
+             "--report", str(report)]
+        ) == 0
+        doc = json.loads(report.read_text())
+        metrics = doc["metrics"]
+        assert metrics["cells"] == 2 and metrics["failures"] == 0
+        assert any(k.startswith("guard.") for k in metrics)
+        assert any(k.startswith("span.") and k.endswith(".count")
+                   for k in metrics)
+        assert doc["provenance"]["jobs"] == 1
+
+
+class TestFlame:
+    def test_default_workload_writes_flamegraph(self, tmp_path, capsys):
+        out_path = tmp_path / "flame.html"
+        collapsed = tmp_path / "stacks.txt"
+        assert main(
+            ["flame", "--repeat", "2", "-o", str(out_path),
+             "--collapsed", str(collapsed)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "E10 workload" in out and "wrote" in out
+        assert "<svg" in out_path.read_text()
+        text = collapsed.read_text().strip()
+        assert all(line.rsplit(" ", 1)[1].isdigit()
+                   for line in text.splitlines())
+
+    def test_profiles_a_program_file(self, prog, tmp_path, capsys):
+        out_path = tmp_path / "flame.html"
+        assert main(
+            ["flame", prog, "--repeat", "2", "-o", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+
+    def test_max_overhead_gate_fails_when_exceeded(self, tmp_path, capsys):
+        # An impossible budget: any nonzero overhead exceeds it.
+        rc = main(
+            ["flame", "--repeat", "2", "-o", str(tmp_path / "f.html"),
+             "--max-overhead", "0"]
+        )
+        captured = capsys.readouterr()
+        if rc == 1:
+            assert "exceeds --max-overhead" in captured.err
+        else:  # measured overhead can legitimately be <= 0 on a noisy box
+            assert rc == 0
+
+
+def _make_spool(tmp_path):
+    spool = tmp_path / "spool"
+    assert main(
+        ["sweep", "--faults", "--windows", "3", "--seeds", "2",
+         "--spool-dir", str(spool)]
+    ) == 0
+    return spool
+
+
+class TestMetricsExposition:
+    def test_prometheus_output(self, tmp_path, capsys):
+        spool = _make_spool(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(spool)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_guard_schedule_total counter" in out
+        assert 'trace_id="' in out
+        cells = [ln for ln in out.splitlines()
+                 if ln.startswith("repro_cells_total{")]
+        assert cells and cells[0].endswith(" 2")
+
+    def test_output_file_and_namespace(self, tmp_path, capsys):
+        spool = _make_spool(tmp_path)
+        prom = tmp_path / "m.prom"
+        assert main(
+            ["metrics", str(spool), "--namespace", "spaa", "-o", str(prom)]
+        ) == 0
+        assert "spaa_guard_schedule_total" in prom.read_text()
+
+    def test_missing_dir_is_usage_error(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_single_frame(self, tmp_path, capsys):
+        spool = _make_spool(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["top", str(spool), "--interval", "0", "--frames", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "cells 2 (2 ok)" in out
+        assert "sweep.cell" in out and "guard.schedule" in out
+
+    def test_missing_dir_is_usage_error(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
