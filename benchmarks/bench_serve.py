@@ -1,0 +1,112 @@
+"""E13 — scheduling-as-a-service: cold vs warm cache throughput.
+
+Drives the in-process :class:`~repro.serve.service.ScheduleService` (no
+socket hop, so the numbers isolate canonicalization + cache + scheduler
+cost) over a seeded corpus three ways:
+
+- **direct**: the library call a client would otherwise make per request;
+- **cold**: every request misses — serve overhead = canonical digest +
+  cache bookkeeping on top of direct;
+- **warm**: every request hits — a canonical-form translation *replaces*
+  the scheduler and simulator entirely.
+
+The interesting invariants: warm responses are bit-identical to cold ones,
+hit/miss counts are exact, and the warm path never invokes the worker.
+The interesting measurement: warm speedup over direct, i.e. what the
+content-addressed cache buys a million-user serving tier on repetitive
+kernels.
+"""
+
+import time
+
+from common import emit_metrics, emit_table
+
+from repro.machine import paper_machine
+from repro.serve.protocol import ScheduleRequest
+from repro.serve.service import ScheduleService
+from repro.serve.worker import compute_request
+from repro.workloads import random_trace
+
+CORPUS = 24
+MACHINE = paper_machine(4)
+IDENTITY_KEYS = ("block_orders", "makespan", "stall_cycles", "schedule_digest")
+
+
+def _corpus():
+    docs = []
+    for i in range(CORPUS):
+        trace = random_trace(
+            2 + i % 3, (4, 8), cross_probability=0.15,
+            latencies=(0, 1, 2), seed=1000 + i,
+        )
+        docs.append(
+            ScheduleRequest(
+                trace=trace,
+                machine=MACHINE,
+                scheduler=("anticipatory", "local")[i % 2],
+            ).to_dict()
+        )
+    return docs
+
+
+def test_serve_cold_vs_warm(benchmark):
+    docs = _corpus()
+
+    t0 = time.perf_counter()
+    direct = [compute_request(doc) for doc in docs]
+    direct_s = time.perf_counter() - t0
+
+    service = ScheduleService()
+    t0 = time.perf_counter()
+    cold = [service.handle(doc) for doc in docs]
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = [service.handle(doc) for doc in docs]
+    warm_s = time.perf_counter() - t0
+
+    # Correctness invariants: exact hit/miss split, bit-identical payloads.
+    assert [r["cached"] for r in cold] == [False] * CORPUS
+    assert [r["cached"] for r in warm] == [True] * CORPUS
+    assert service.cache.stats()["misses"] == CORPUS
+    assert service.cache.stats()["hits"] == CORPUS
+    for d, c, w in zip(direct, cold, warm):
+        for key in IDENTITY_KEYS:
+            assert c[key] == d[key]
+            assert w[key] == c[key]
+
+    # The benchmarked quantity: steady-state (warm) request handling.
+    warm_service = ScheduleService()
+    for doc in docs:
+        warm_service.handle(doc)
+    benchmark(lambda: [warm_service.handle(doc) for doc in docs])
+
+    emit_table(
+        "E13_serve_throughput",
+        ["path", "wall s", "requests/s"],
+        [
+            ["direct library call", f"{direct_s:.4f}", f"{CORPUS / direct_s:.0f}"],
+            ["serve cold (all miss)", f"{cold_s:.4f}", f"{CORPUS / cold_s:.0f}"],
+            ["serve warm (all hit)", f"{warm_s:.4f}", f"{CORPUS / warm_s:.0f}"],
+        ],
+        title=f"E13: serving throughput, {CORPUS}-request corpus "
+              f"(warm speedup over direct: {direct_s / warm_s:.1f}x)",
+    )
+    emit_metrics(
+        "E13_serve",
+        {
+            "requests": CORPUS,
+            "cache_hits": service.cache.stats()["hits"],
+            "cache_misses": service.cache.stats()["misses"],
+            "bit_identical": CORPUS,
+            "direct_wall_s": direct_s,
+            "cold_wall_s": cold_s,
+            "warm_wall_s": warm_s,
+            # "wall" in the name marks the ratio as a thresholded timing
+            # metric for `repro compare`, like the raw walls above.
+            "warm_speedup_wall_ratio": direct_s / warm_s,
+        },
+        machine=MACHINE,
+        seed=1000,
+        corpus=CORPUS,
+    )

@@ -15,6 +15,7 @@ Usage (also via ``python -m repro``)::
     repro sweep --windows 2,3,4 --seeds 8 --jobs 4 --checkpoint ck.jsonl
     repro sweep --windows 2,3,4 --seeds 8 --checkpoint ck.jsonl --resume
     repro sweep --faults --jobs 2 --spool-dir spool/ --report sweep.json
+    repro serve --socket /tmp/repro.sock --jobs 4 --cache-path sched.jsonl
     repro top spool/ --interval 1
     repro metrics spool/ -o metrics.prom
     repro flame --repeat 20 -o flame.html --max-overhead 5
@@ -47,7 +48,7 @@ from .analysis.report import (
     stall_attribution_summary,
     trace_summary,
 )
-from .core import algorithm_lookahead, compute_ranks, local_block_orders
+from .core import algorithm_lookahead, compute_ranks
 from .core.loops import schedule_single_block_loop
 from .ir.loop_builder import build_loop_graph
 from .ir.parser import ParseError, parse_program, parse_trace
@@ -66,11 +67,6 @@ from .obs.export import (
     sim_traces_from_records,
     write_chrome_trace,
     write_jsonl,
-)
-from .schedulers import (
-    block_orders_with_priority,
-    critical_path_priority,
-    source_order_priority,
 )
 from .sim import simulate_loop_order, simulate_trace, simulated_initiation_interval
 
@@ -100,14 +96,11 @@ def _load_trace(path: str):
 def cmd_schedule(args: argparse.Namespace) -> int:
     trace = _load_trace(args.file)
     machine = _machine(args)
-    if args.scheduler == "anticipatory":
-        orders = algorithm_lookahead(trace, machine).block_orders
-    elif args.scheduler == "local":
-        orders = local_block_orders(trace, machine)
-    elif args.scheduler == "critical-path":
-        orders = block_orders_with_priority(trace, critical_path_priority, machine)
-    else:  # source
-        orders = block_orders_with_priority(trace, source_order_priority, machine)
+    # Shared dispatch table with the serving daemon (repro.serve.worker),
+    # so `repro serve` can never drift from `repro schedule`.
+    from .serve.worker import compute_block_orders
+
+    orders = compute_block_orders(trace, machine, args.scheduler)
     for bb, order in zip(trace.blocks, orders):
         print(f"{bb.name}: {' '.join(order)}")
     # --trace implies a simulation: cycle-level events only exist at runtime.
@@ -601,6 +594,58 @@ def cmd_flame(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scheduling daemon (see docs/SERVING.md)."""
+    import asyncio
+
+    from .serve.daemon import ScheduleServer
+    from .serve.service import ScheduleService
+
+    if args.socket is None and args.port is None:
+        print("error: need --socket PATH and/or --port N", file=sys.stderr)
+        return 2
+    service = ScheduleService(
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        cache_path=args.cache_path,
+        spool_dir=args.spool_dir,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+    )
+    server = ScheduleServer(
+        service,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        batch_window_s=args.batch_window_ms / 1000.0,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on {', '.join(server.endpoints())} "
+            f"(jobs={args.jobs}, cache={args.cache_size}"
+            + (f", store={args.cache_path}" if args.cache_path else "")
+            + ")",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"repro serve: stopped after {stats['requests']} request(s) "
+        f"({cache['hits']} cache hit(s), {cache['misses']} miss(es), "
+        f"{stats['errors']} error(s))"
+    )
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Render a spool directory's merged telemetry in Prometheus text
     exposition format."""
@@ -760,6 +805,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the merged telemetry as a RunReport JSON "
                         "(counters and span counts invariant across --jobs)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon with the content-addressed "
+             "schedule cache (see docs/SERVING.md)",
+    )
+    p.add_argument("--socket", metavar="PATH", default=None,
+                   help="unix socket to listen on (JSONL protocol)")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="TCP port for the HTTP transport (0 = ephemeral)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --port (default 127.0.0.1)")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes per batch (default 1: in-process)")
+    p.add_argument("--cache-size", type=int, default=1024, metavar="N",
+                   help="max resident schedule-cache entries (LRU, "
+                        "default 1024)")
+    p.add_argument("--cache-path", metavar="FILE", default=None,
+                   help="append-only JSONL schedule store; reloaded on "
+                        "restart so the cache survives the daemon")
+    p.add_argument("--spool-dir", metavar="DIR", default=None,
+                   help="spool per-batch telemetry to DIR (inspect live "
+                        "with 'repro top DIR' / 'repro metrics DIR')")
+    p.add_argument("--batch-max", type=int, default=16, metavar="N",
+                   help="max requests coalesced into one batch (default 16)")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   metavar="MS",
+                   help="coalescing window after the first request of a "
+                        "batch (default 2 ms)")
+    p.add_argument("--timeout-s", type=float, default=None, metavar="SEC",
+                   help="declare a batch's running requests hung after no "
+                        "completion for SEC seconds (jobs > 1)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per request on worker crash or "
+                        "timeout (default 1)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "flame",

@@ -12,6 +12,8 @@ sub-permutations (Definition 2.1).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -260,8 +262,46 @@ class Schedule:
             and self.units == other.units
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - schedules rarely hashed
-        return hash(tuple(sorted(self.starts.items())))
+    def __hash__(self) -> int:
+        # Must hash everything __eq__ compares: hashing only ``starts``
+        # collides multi-FU schedules that differ solely in unit assignment.
+        return hash(
+            (
+                tuple(sorted(self.starts.items())),
+                tuple(sorted(self.units.items())),
+            )
+        )
+
+    def digest(self) -> str:
+        """Stable sha256 content digest of the schedule.
+
+        Unlike :func:`hash`, the value is independent of ``PYTHONHASHSEED``
+        and identical across processes and sessions, so it can key on-disk
+        stores and travel in wire responses (the serve cache reuses it to
+        assert bit-identity of cached vs freshly computed schedules).  Two
+        schedules are equal iff their digests are equal: the canonical JSON
+        covers exactly what :meth:`__eq__` compares — starts and units.
+        """
+        return schedule_digest(self.starts, self.units)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Schedule(n={len(self)}, makespan={self.makespan})"
+
+
+def schedule_digest(
+    starts: Mapping[str, int], units: Mapping[str, Unit]
+) -> str:
+    """sha256 content digest of a ``(starts, units)`` assignment.
+
+    Module-level so callers holding raw mappings (e.g. the serve cache
+    translating a stored canonical schedule into request names) can digest
+    without constructing a graph-validated :class:`Schedule`; the method
+    :meth:`Schedule.digest` delegates here, so the two can never disagree.
+    """
+    payload = {
+        "v": 1,
+        "starts": [[n, t] for n, t in sorted(starts.items())],
+        "units": [[n, list(u)] for n, u in sorted(units.items())],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

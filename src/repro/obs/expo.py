@@ -44,7 +44,15 @@ def _render_labels(labels: Mapping[str, object] | None) -> str:
     parts = []
     for key in sorted(labels):
         k = _LABEL_RE.sub("_", str(key))
-        v = str(labels[key]).replace("\\", r"\\").replace('"', r"\"")
+        # The text exposition format requires escaping backslash, double
+        # quote AND newline inside label values — a raw newline would tear
+        # the series line in two and corrupt the whole exposition.
+        v = (
+            str(labels[key])
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n")
+        )
         parts.append(f'{k}="{v}"')
     return "{" + ",".join(parts) + "}"
 

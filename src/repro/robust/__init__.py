@@ -39,11 +39,14 @@ from .faults import (
 
 __all__ = [
     "DegradedResult",
+    "ExecutionPool",
     "FaultPlan",
     "FaultState",
     "FuzzReport",
     "GuardedResult",
     "GuardedScheduler",
+    "PoolConfig",
+    "RetryPolicy",
     "SweepError",
     "SweepFailure",
     "SweepResult",
@@ -60,6 +63,9 @@ __all__ = [
 
 _LAZY = {
     "DegradedResult": ("guard", "DegradedResult"),
+    "ExecutionPool": ("pool", "ExecutionPool"),
+    "PoolConfig": ("pool", "PoolConfig"),
+    "RetryPolicy": ("backoff", "RetryPolicy"),
     "GuardedResult": ("guard", "GuardedResult"),
     "GuardedScheduler": ("guard", "GuardedScheduler"),
     "FuzzReport": ("fuzz", "FuzzReport"),

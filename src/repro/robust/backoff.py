@@ -1,0 +1,71 @@
+"""Capped, jittered retry backoff.
+
+The original sweep driver slept ``backoff_s * 2**attempt`` between retry
+rounds — uncapped and jitter-free.  Two failure modes follow: a high retry
+count sleeps for minutes (``0.05 * 2**12`` is already 3½ minutes), and
+every worker that failed in the same round retries in lockstep, hammering
+whatever shared resource made them fail in the first place.
+
+:class:`RetryPolicy` fixes both: the exponential delay is clamped to
+``cap_s`` and then a *seeded* jitter shaves off up to ``jitter`` of it, so
+repeated runs remain deterministic (same seed → same sleep sequence) while
+synchronized retriers decorrelate.  The policy only shapes *sleeps*; it
+never touches results or checkpoint contents, so checkpoint/resume output
+stays byte-identical to the uncapped driver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Default clamp on a single retry sleep, in seconds.
+DEFAULT_BACKOFF_CAP_S = 5.0
+
+#: Default fraction of the clamped delay randomized away by jitter.
+DEFAULT_BACKOFF_JITTER = 0.5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with a hard cap and bounded, seeded jitter.
+
+    ``delay_s(attempt)`` for 1-based ``attempt`` (the number of failed
+    tries so far) is drawn uniformly from::
+
+        d = min(cap_s, base_s * 2**(attempt - 1))
+        [d * (1 - jitter), d]
+
+    ``jitter=0`` makes the policy fully deterministic (the old behaviour,
+    but capped).  The random source is supplied per call so one policy
+    object can serve many independently seeded retry streams.
+    """
+
+    base_s: float = 0.05
+    cap_s: float = DEFAULT_BACKOFF_CAP_S
+    jitter: float = DEFAULT_BACKOFF_JITTER
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError(f"base_s must be >= 0, got {self.base_s}")
+        if self.cap_s < 0:
+            raise ValueError(f"cap_s must be >= 0, got {self.cap_s}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The sleep before the next try after ``attempt`` failed tries."""
+        exponent = max(0, attempt - 1)
+        # Clamp the exponent too: 2**1000 is a harmless Python bignum but
+        # there is no point computing it just to min() it away.
+        if self.base_s <= 0:
+            return 0.0
+        delay = self.base_s * (2 ** min(exponent, 63))
+        delay = min(self.cap_s, delay)
+        if self.jitter > 0 and rng is not None:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def rng(self, seed: int | None = 0) -> random.Random:
+        """A fresh seeded jitter stream (``None`` draws OS entropy)."""
+        return random.Random(seed)

@@ -1,0 +1,106 @@
+"""Reusable execution-pool API over the crash-tolerant sweep driver.
+
+:mod:`repro.robust.sweep` grew per-cell timeouts, bounded capped-backoff
+retry, worker-crash isolation with exact blame, and cross-process telemetry
+— all of it originally reachable only through the sweep-shaped entry point
+``run_sweep_robust(fn, params)``.  :class:`ExecutionPool` promotes that
+machinery into a generic execution substrate: bind a picklable callable
+once, then feed it batches of work items from anywhere (the serving daemon
+dispatches request batches through one, benchmarks and ad-hoc drivers can
+too) and get the same survival guarantees per batch.
+
+The pool is deliberately stateless between batches — each :meth:`run` drives
+one batch to completion through fresh worker pools, so a poisoned worker
+can never leak into the next batch.  For a long-lived daemon this is the
+property that matters: one malicious or degenerate request batch cannot
+wedge the service.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .backoff import DEFAULT_BACKOFF_CAP_S, DEFAULT_BACKOFF_JITTER
+from .sweep import SweepError, SweepResult, run_sweep_robust
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Execution knobs shared by every batch a pool runs.
+
+    ``jobs=1`` executes in-process (no forking — exceptions still retried);
+    ``jobs>1`` fans out over fork-based worker pools with crash isolation.
+    ``timeout_s`` bounds the time a batch tolerates with no item completing
+    before declaring the running items hung.  Retry sleeps are capped at
+    ``backoff_cap_s`` with seeded jitter (see :mod:`repro.robust.backoff`).
+    """
+
+    jobs: int = 1
+    timeout_s: float | None = None
+    retries: int = 1
+    backoff_s: float = 0.05
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
+    backoff_jitter: float = DEFAULT_BACKOFF_JITTER
+    backoff_seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+
+class ExecutionPool:
+    """A callable bound to the robust execution substrate.
+
+    ``fn`` must be a module-level (picklable) callable when ``jobs > 1``,
+    same contract as the sweep driver.  Work items are argument tuples
+    (bare values are 1-tuples).
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        config: PoolConfig | None = None,
+        telemetry_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self.fn = fn
+        self.config = config or PoolConfig()
+        self.telemetry_dir = telemetry_dir
+        #: Aggregate bookkeeping across batches.
+        self.batches = 0
+        self.attempts = 0
+        self.pool_restarts = 0
+
+    def run(self, items: Sequence[object]) -> SweepResult:
+        """Drive one batch to completion; failed items appear as
+        :class:`~repro.robust.sweep.SweepFailure` entries in input order
+        instead of aborting the batch."""
+        cfg = self.config
+        result = run_sweep_robust(
+            self.fn,
+            items,
+            jobs=cfg.jobs,
+            timeout_s=cfg.timeout_s,
+            retries=cfg.retries,
+            backoff_s=cfg.backoff_s,
+            backoff_cap_s=cfg.backoff_cap_s,
+            backoff_jitter=cfg.backoff_jitter,
+            backoff_seed=cfg.backoff_seed,
+            telemetry_dir=self.telemetry_dir,
+        )
+        self.batches += 1
+        self.attempts += result.attempts
+        self.pool_restarts += result.pool_restarts
+        return result
+
+    def map(self, items: Sequence[object]) -> list:
+        """Strict :meth:`run`: plain results in input order, raising
+        :class:`~repro.robust.sweep.SweepError` if any item ultimately
+        failed (after the whole batch has been driven)."""
+        result = self.run(items)
+        if result.failures:
+            raise SweepError(result.failures, result.results)
+        return result.results

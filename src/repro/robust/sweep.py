@@ -10,8 +10,12 @@ under all of that:
   window, every still-running cell is declared hung and abandoned (or
   retried), and the worker pool is recycled so a wedged worker cannot
   block the sweep;
-- **bounded retry with exponential backoff** — transient failures get
-  ``retries`` extra attempts, with ``backoff_s * 2**attempt`` sleeps;
+- **bounded retry with capped, jittered exponential backoff** — transient
+  failures get ``retries`` extra attempts; sleeps grow as ``backoff_s *
+  2**attempt`` but are clamped to ``backoff_cap_s`` and decorrelated by
+  seeded jitter (see :mod:`repro.robust.backoff`), so a high retry count
+  cannot stall the sweep for minutes and synchronized workers do not retry
+  in lockstep;
 - **worker-crash isolation** — a worker that dies (segfault, ``os._exit``,
   OOM kill) breaks only its own cell: completed siblings keep their
   results, and uncollected siblings are requeued *uncharged* (a broken
@@ -53,6 +57,7 @@ from typing import Callable, Sequence
 
 import multiprocessing
 
+from .backoff import DEFAULT_BACKOFF_CAP_S, DEFAULT_BACKOFF_JITTER, RetryPolicy
 from ..obs import recorder as obs
 from ..obs.pipeline import (
     SpoolMerge,
@@ -203,6 +208,9 @@ def run_sweep_robust(
     timeout_s: float | None = None,
     retries: int = 1,
     backoff_s: float = 0.05,
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    backoff_jitter: float = DEFAULT_BACKOFF_JITTER,
+    backoff_seed: int | None = 0,
     checkpoint: str | os.PathLike | None = None,
     telemetry_dir: str | os.PathLike | None = None,
 ) -> SweepResult:
@@ -219,6 +227,11 @@ def run_sweep_robust(
     resume.  Returns a :class:`SweepResult`; failed cells appear as
     :class:`SweepFailure` entries instead of aborting the sweep.
 
+    Retry sleeps follow a :class:`~repro.robust.backoff.RetryPolicy`:
+    exponential in ``backoff_s``, clamped to ``backoff_cap_s`` and
+    decorrelated by jitter seeded with ``backoff_seed`` (deterministic by
+    default; sleeps never affect results or checkpoint contents).
+
     ``telemetry_dir`` turns on the cross-process telemetry pipeline: every
     cell execution (in-process or in a worker) runs under its own child
     :class:`~repro.obs.pipeline.TraceContext` and is spooled to
@@ -232,6 +245,10 @@ def run_sweep_robust(
         raise ValueError("retries must be >= 0")
     if timeout_s is not None and timeout_s <= 0:
         raise ValueError("timeout_s must be > 0 or None")
+    policy = RetryPolicy(
+        base_s=backoff_s, cap_s=backoff_cap_s, jitter=backoff_jitter
+    )
+    backoff_rng = policy.rng(backoff_seed)
     calls = _normalize(params)
     n = len(calls)
     result = SweepResult(results=[None] * n)
@@ -315,7 +332,9 @@ def run_sweep_robust(
                                     i, type(exc).__name__, str(exc), attempts[i]
                                 )
                                 break
-                            _time.sleep(backoff_s * (2 ** (attempts[i] - 1)))
+                            _time.sleep(
+                                policy.delay_s(attempts[i], backoff_rng)
+                            )
                 return finish()
 
             methods = multiprocessing.get_all_start_methods()
@@ -509,7 +528,7 @@ def run_sweep_robust(
                     isolate = isolate or crashed
                 if queue:
                     max_attempt = max(attempts[i] for i in queue)
-                    _time.sleep(backoff_s * (2 ** max(0, max_attempt - 1)))
+                    _time.sleep(policy.delay_s(max_attempt, backoff_rng))
                     obs.count("sweep.retries", len(queue))
                     queue = sorted(queue)
         return finish()
@@ -526,6 +545,9 @@ def run_sweep(
     timeout_s: float | None = None,
     retries: int = 1,
     backoff_s: float = 0.05,
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    backoff_jitter: float = DEFAULT_BACKOFF_JITTER,
+    backoff_seed: int | None = 0,
     checkpoint: str | os.PathLike | None = None,
     telemetry_dir: str | os.PathLike | None = None,
     strict: bool = True,
@@ -541,6 +563,9 @@ def run_sweep(
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
+        backoff_cap_s=backoff_cap_s,
+        backoff_jitter=backoff_jitter,
+        backoff_seed=backoff_seed,
         checkpoint=checkpoint,
         telemetry_dir=telemetry_dir,
     )

@@ -1,0 +1,152 @@
+"""Content-addressed schedule cache: bounded LRU over an append-only JSONL
+store.
+
+Entries are keyed by the request's **canonical digest**
+(:func:`repro.serve.canonical.canonical_form`) and hold the schedule in
+*canonical ids*, so every request isomorphic to a cached one — same kernel,
+different SSA names — shares a single entry and translates the stored
+schedule through its own canonical labeling.
+
+Persistence is an append-only JSONL file: one ``{"digest": ..., "entry":
+...}`` line per insertion, flushed immediately.  Loading replays the file
+last-wins and tolerates a torn final line (a daemon killed mid-append must
+not poison its own restart).  The file is an upper bound on the in-memory
+view — the LRU stays within ``capacity``; the store keeps everything ever
+computed and warms the LRU up to capacity on restart.
+
+Instrumentation: ``serve.cache.hit`` / ``serve.cache.miss`` /
+``serve.cache.evict`` are counted on both the active
+:mod:`repro.obs.recorder` (so per-request spool records carry them) and an
+optional :class:`~repro.obs.metrics.MetricsRegistry` (so ``GET /metrics``
+exposes running totals).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from ..obs import recorder as obs
+from ..obs.metrics import MetricsRegistry
+
+
+class ScheduleCache:
+    """Bounded LRU of canonical-form schedule entries, optionally backed by
+    an on-disk JSONL store."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        path: str | os.PathLike | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self.registry = registry
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- instrumentation -----------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        obs.count(name)
+        if self.registry is not None:
+            self.registry.counter(name).inc()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        """Replay the JSONL store: last write per digest wins, bad or torn
+        lines are skipped, only the most recent ``capacity`` entries stay
+        resident."""
+        replay: "OrderedDict[str, dict]" = OrderedDict()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                digest, entry = rec["digest"], rec["entry"]
+            except (ValueError, TypeError, KeyError):
+                continue  # torn/corrupt line: ignore, keep replaying
+            if not isinstance(digest, str) or not isinstance(entry, dict):
+                continue
+            replay.pop(digest, None)
+            replay[digest] = entry
+        for digest, entry in list(replay.items())[-self.capacity :]:
+            self._entries[digest] = entry
+
+    def _append(self, digest: str, entry: dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps({"digest": digest, "entry": entry}, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    # -- lookup / insert -----------------------------------------------------
+
+    def get(self, digest: str) -> dict | None:
+        """The entry for ``digest`` (refreshing its LRU position), or None.
+        Counts ``serve.cache.hit`` / ``serve.cache.miss``."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            self._count("serve.cache.miss")
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        self._count("serve.cache.hit")
+        return entry
+
+    def note_hit(self) -> None:
+        """Count a hit that was served without a :meth:`get` — e.g. a
+        duplicate digest inside one batch, answered from its sibling's
+        in-flight computation."""
+        self.hits += 1
+        self._count("serve.cache.hit")
+
+    def peek(self, digest: str) -> dict | None:
+        """Uninstrumented lookup (no counters, no LRU refresh)."""
+        return self._entries.get(digest)
+
+    def put(self, digest: str, entry: dict) -> None:
+        """Insert (or refresh) an entry, evicting LRU victims beyond
+        ``capacity`` and appending to the on-disk store."""
+        known = digest in self._entries
+        self._entries.pop(digest, None)
+        self._entries[digest] = entry
+        if not known:
+            self._append(digest, entry)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count("serve.cache.evict")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,109 @@
+"""Blocking clients for the scheduling daemon.
+
+:class:`ScheduleClient` speaks the newline-delimited JSON protocol over
+the unix socket; :func:`http_schedule` / :func:`http_get` cover the TCP
+transport with nothing but :mod:`http.client`.  Both exist so tests, the
+smoke harness and ad-hoc scripts need no third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+
+from ..ir.basicblock import Trace
+from ..machine.model import MachineModel
+from .protocol import ScheduleRequest
+
+
+class ScheduleClient:
+    """One blocking unix-socket connection; requests are answered in order,
+    so a single client may pipeline freely from one thread."""
+
+    def __init__(
+        self, socket_path: str | os.PathLike, timeout_s: float | None = 30.0
+    ) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rwb")
+
+    # -- raw protocol --------------------------------------------------------
+
+    def call(self, doc: dict) -> dict:
+        """Send one JSON document, read one JSON response line."""
+        self._file.write(json.dumps(doc).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # -- conveniences --------------------------------------------------------
+
+    def schedule(
+        self,
+        trace: Trace,
+        machine: MachineModel,
+        scheduler: str = "anticipatory",
+        request_id: object = None,
+    ) -> dict:
+        request = ScheduleRequest(
+            trace=trace, machine=machine, scheduler=scheduler, id=request_id
+        )
+        return self.call(request.to_dict())
+
+    def ping(self) -> dict:
+        return self.call({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})["stats"]
+
+    def metrics_text(self) -> str:
+        return self.call({"op": "metrics"})["text"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ScheduleClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def http_schedule(
+    host: str, port: int, doc: dict, timeout_s: float = 30.0
+) -> tuple[int, dict]:
+    """POST one request (or ``{"requests": [...]}``) to ``/v1/schedule``."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        body = json.dumps(doc)
+        conn.request(
+            "POST",
+            "/v1/schedule",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def http_get(
+    host: str, port: int, path: str, timeout_s: float = 30.0
+) -> tuple[int, bytes]:
+    conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()

@@ -1,0 +1,350 @@
+"""Asyncio front-end of the scheduling service: ``repro serve``.
+
+Two transports over one :class:`~repro.serve.service.ScheduleService`:
+
+- **unix socket** (``--socket PATH``): newline-delimited JSON.  Each line
+  is either a scheduling request (:mod:`repro.serve.protocol`) or a
+  control op — ``{"op": "ping"}``, ``{"op": "stats"}``,
+  ``{"op": "metrics"}`` — and receives exactly one response line.
+  Multiple requests may be pipelined on one connection; responses come
+  back in order.
+- **HTTP** (``--port N``): a deliberately minimal HTTP/1.1 subset —
+  ``POST /v1/schedule`` (a request document, or ``{"requests": [...]}``
+  for an explicit batch), ``GET /metrics`` (Prometheus text exposition of
+  the service registry), ``GET /healthz`` and ``GET /stats``.  No
+  keep-alive, no chunked bodies; enough for curl, load generators and
+  scrapers without pulling in a web framework.
+
+Batching: every schedule request lands in one queue; a collector task
+drains it into batches of up to ``batch_max`` requests, waiting at most
+``batch_window_s`` after the first arrival so concurrent clients coalesce.
+Each batch runs in a **single-thread** executor — the obs recorder is
+process-global, so request handling must not interleave in threads; CPU
+parallelism comes from the service's worker pool (``--jobs``), not from
+threading the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..obs.expo import prometheus_text
+from .protocol import error_response
+from .service import ScheduleService
+
+#: Default limit on requests coalesced into one batch.
+DEFAULT_BATCH_MAX = 16
+
+#: Default coalescing window after the first request of a batch (seconds).
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+_MAX_LINE = 32 * 1024 * 1024  # 32 MiB: generous bound for one JSON request
+
+
+class ScheduleServer:
+    """The daemon: transports + batcher around a :class:`ScheduleService`."""
+
+    def __init__(
+        self,
+        service: ScheduleService,
+        socket_path: str | os.PathLike | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("need a unix socket path and/or a TCP port")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.service = service
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        self.host = host
+        self.port = port
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_s
+        self._queue: asyncio.Queue | None = None
+        self._servers: list[asyncio.base_events.Server] = []
+        self._batcher: asyncio.Task | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-batch"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+        if self.socket_path is not None:
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._serve_unix, path=str(self.socket_path), limit=_MAX_LINE
+                )
+            )
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._serve_http, host=self.host, port=self.port, limit=_MAX_LINE
+            )
+            self._servers.append(server)
+            # Resolve port 0 to the actual bound port for clients.
+            self.port = server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        self._executor.shutdown(wait=True)
+        if self.socket_path is not None and self.socket_path.exists():
+            self.socket_path.unlink()
+
+    async def serve_forever(self) -> None:
+        if not self._servers:
+            await self.start()
+        try:
+            await asyncio.gather(*(s.serve_forever() for s in self._servers))
+        finally:
+            await self.stop()
+
+    def endpoints(self) -> list[str]:
+        """Human-readable listening endpoints (valid after :meth:`start`)."""
+        out = []
+        if self.socket_path is not None:
+            out.append(f"unix:{self.socket_path}")
+        if self.port is not None:
+            out.append(f"http://{self.host}:{self.port}")
+        return out
+
+    # -- batching ------------------------------------------------------------
+
+    async def _submit(self, doc: dict) -> dict:
+        """Enqueue one request document; resolves to its response."""
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((doc, future))
+        return await future
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.batch_window_s
+            while len(batch) < self.batch_max:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            docs = [doc for doc, _ in batch]
+            try:
+                responses = await loop.run_in_executor(
+                    self._executor, self.service.handle_batch, docs
+                )
+            except Exception as exc:  # defensive: the service shouldn't raise
+                responses = [
+                    error_response(
+                        doc.get("id") if isinstance(doc, dict) else None,
+                        f"internal error: {exc}",
+                    )
+                    for doc in docs
+                ]
+            for (_, future), response in zip(batch, responses):
+                if not future.done():
+                    future.set_result(response)
+
+    # -- unix-socket transport ------------------------------------------------
+
+    def _control(self, doc: dict) -> dict | None:
+        op = doc.get("op")
+        if op is None:
+            return None
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.service.stats()}
+        if op == "metrics":
+            return {
+                "ok": True,
+                "op": "metrics",
+                "text": prometheus_text(self.service.registry),
+            }
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _serve_unix(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write_line(
+                        writer, error_response(None, "request line too long")
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError as exc:
+                    await self._write_line(
+                        writer, error_response(None, f"bad JSON: {exc}")
+                    )
+                    continue
+                if isinstance(doc, dict) and (control := self._control(doc)):
+                    await self._write_line(writer, control)
+                    continue
+                await self._write_line(writer, await self._submit(doc))
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _write_line(writer: asyncio.StreamWriter, doc: dict) -> None:
+        writer.write(json.dumps(doc, sort_keys=True).encode() + b"\n")
+        await writer.drain()
+
+    # -- HTTP transport --------------------------------------------------------
+
+    async def _serve_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._http_response(reader)
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _http_response(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return "400 Bad Request", "text/plain", b"bad request line\n"
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("latin-1").strip()
+            if not header:
+                break
+            key, _, value = header.partition(":")
+            if key.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return "400 Bad Request", "text/plain", b"bad content-length\n"
+        if method == "GET" and path == "/healthz":
+            return "200 OK", "text/plain", b"ok\n"
+        if method == "GET" and path == "/metrics":
+            text = prometheus_text(self.service.registry)
+            return "200 OK", "text/plain; version=0.0.4", text.encode()
+        if method == "GET" and path == "/stats":
+            body = json.dumps(self.service.stats(), sort_keys=True) + "\n"
+            return "200 OK", "application/json", body.encode()
+        if method == "POST" and path == "/v1/schedule":
+            if content_length <= 0 or content_length > _MAX_LINE:
+                return "400 Bad Request", "text/plain", b"need a JSON body\n"
+            raw = await reader.readexactly(content_length)
+            try:
+                doc = json.loads(raw)
+            except ValueError as exc:
+                body = json.dumps(error_response(None, f"bad JSON: {exc}")) + "\n"
+                return "400 Bad Request", "application/json", body.encode()
+            if isinstance(doc, dict) and isinstance(doc.get("requests"), list):
+                responses = await asyncio.gather(
+                    *(self._submit(d) for d in doc["requests"])
+                )
+                body = json.dumps({"responses": responses}, sort_keys=True) + "\n"
+            else:
+                body = json.dumps(await self._submit(doc), sort_keys=True) + "\n"
+            return "200 OK", "application/json", body.encode()
+        return "404 Not Found", "text/plain", b"not found\n"
+
+
+class ServerHandle:
+    """A daemon running on a background thread (tests, smoke, notebooks).
+
+    ``with ServerHandle(server):`` starts the asyncio loop on a daemon
+    thread, waits until the transports are bound, and tears everything
+    down on exit.
+    """
+
+    def __init__(self, server: ScheduleServer) -> None:
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "ServerHandle":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("schedule server failed to start within 10 s")
+        if self._startup_error is not None:
+            raise RuntimeError("schedule server failed to start") from (
+                self._startup_error
+            )
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)

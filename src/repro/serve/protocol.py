@@ -1,0 +1,243 @@
+"""Wire format of the scheduling service.
+
+Requests and responses are JSON documents — one per line on the unix-socket
+transport, one per HTTP body on the TCP transport (see
+:mod:`repro.serve.daemon` and ``docs/SERVING.md`` for the full protocol
+spec).  A request names a program (trace of basic blocks), a machine
+config and a scheduler; a response carries the emitted per-block
+instruction orders, the simulated makespan/stall count, the canonical
+digest the request hashed to, the schedule's own content digest, and
+whether the answer came from cache.
+
+Everything here is transport-agnostic pure data plumbing:
+encode/decode between JSON dicts and the library's value types
+(:class:`~repro.ir.basicblock.Trace`,
+:class:`~repro.machine.model.MachineModel`), with
+:class:`ProtocolError` raised on any malformed input so the daemon can
+answer a structured error instead of dying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..ir.basicblock import BasicBlock, Trace
+from ..ir.depgraph import DependenceGraph
+from ..ir.instruction import ANY
+from ..machine.model import MachineModel
+
+#: Version of the request/response schema.
+PROTOCOL_VERSION = 1
+
+#: Scheduler names accepted on the wire (mirrors ``repro schedule``).
+SCHEDULER_NAMES = ("anticipatory", "local", "critical-path", "source")
+
+
+class ProtocolError(ValueError):
+    """Raised when a wire document cannot be decoded into a request."""
+
+
+# -- machine ------------------------------------------------------------------
+
+
+def machine_to_dict(machine: MachineModel) -> dict:
+    return {
+        "window_size": machine.window_size,
+        "fu_counts": dict(machine.fu_counts),
+        "issue_width": machine.issue_width,
+    }
+
+
+def machine_from_dict(doc: Mapping) -> MachineModel:
+    if not isinstance(doc, Mapping):
+        raise ProtocolError(f"machine must be an object, got {type(doc).__name__}")
+    try:
+        fu_counts = {
+            str(cls): int(count)
+            for cls, count in dict(doc.get("fu_counts") or {ANY: 1}).items()
+        }
+        machine = MachineModel(
+            window_size=int(doc.get("window_size", 4)),
+            fu_counts=fu_counts,
+            issue_width=(
+                None
+                if doc.get("issue_width") is None
+                else int(doc["issue_width"])
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad machine config: {exc}") from exc
+    return machine
+
+
+# -- trace --------------------------------------------------------------------
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    blocks = []
+    for bb in trace.blocks:
+        g = bb.graph
+        blocks.append(
+            {
+                "name": bb.name,
+                "nodes": [
+                    [n, g.exec_time(n), g.fu_class(n)] for n in g.nodes
+                ],
+                "edges": [[u, v, lat] for u, v, lat in g.edges()],
+            }
+        )
+    return {
+        "blocks": blocks,
+        "cross_edges": [[u, v, lat] for u, v, lat in trace.cross_edges],
+    }
+
+
+def _block_from_dict(doc: Mapping, index: int) -> BasicBlock:
+    name = str(doc.get("name") or f"BB{index + 1}")
+    graph = DependenceGraph()
+    nodes = doc.get("nodes")
+    if not isinstance(nodes, (list, tuple)) or not nodes:
+        raise ProtocolError(f"block {name!r} needs a non-empty 'nodes' list")
+    for entry in nodes:
+        if isinstance(entry, str):
+            entry = [entry]
+        try:
+            node = str(entry[0])
+            exec_time = int(entry[1]) if len(entry) > 1 else 1
+            fu_class = str(entry[2]) if len(entry) > 2 else ANY
+            graph.add_node(node, exec_time=exec_time, fu_class=fu_class)
+        except (LookupError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"block {name!r}: bad node entry {entry!r}: {exc}"
+            ) from exc
+    for edge in doc.get("edges") or ():
+        try:
+            u, v = str(edge[0]), str(edge[1])
+            lat = int(edge[2]) if len(edge) > 2 else 0
+            graph.add_edge(u, v, lat)
+        except (LookupError, TypeError, ValueError, KeyError) as exc:
+            raise ProtocolError(
+                f"block {name!r}: bad edge {edge!r}: {exc}"
+            ) from exc
+    return BasicBlock(name=name, graph=graph)
+
+
+def trace_from_dict(doc: Mapping) -> Trace:
+    if not isinstance(doc, Mapping):
+        raise ProtocolError(f"program must be an object, got {type(doc).__name__}")
+    blocks_doc = doc.get("blocks")
+    if not isinstance(blocks_doc, (list, tuple)) or not blocks_doc:
+        raise ProtocolError("program needs a non-empty 'blocks' list")
+    blocks = [
+        _block_from_dict(b, i) if isinstance(b, Mapping) else _bad_block(b)
+        for i, b in enumerate(blocks_doc)
+    ]
+    cross = []
+    for edge in doc.get("cross_edges") or ():
+        try:
+            cross.append(
+                (
+                    str(edge[0]),
+                    str(edge[1]),
+                    int(edge[2]) if len(edge) > 2 else 0,
+                )
+            )
+        except (LookupError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad cross edge {edge!r}: {exc}") from exc
+    try:
+        return Trace(blocks, cross_edges=cross)
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"bad program: {exc}") from exc
+
+
+def _bad_block(doc) -> BasicBlock:
+    raise ProtocolError(f"block must be an object, got {type(doc).__name__}")
+
+
+# -- request / response -------------------------------------------------------
+
+
+@dataclass
+class ScheduleRequest:
+    """One decoded scheduling request."""
+
+    trace: Trace
+    machine: MachineModel
+    scheduler: str = "anticipatory"
+    #: Opaque client correlation id, echoed on the response.
+    id: object = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "v": PROTOCOL_VERSION,
+            "program": trace_to_dict(self.trace),
+            "machine": machine_to_dict(self.machine),
+            "scheduler": self.scheduler,
+        }
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "ScheduleRequest":
+        if not isinstance(doc, Mapping):
+            raise ProtocolError(
+                f"request must be an object, got {type(doc).__name__}"
+            )
+        version = doc.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version!r} "
+                f"(this daemon speaks v{PROTOCOL_VERSION})"
+            )
+        scheduler = str(doc.get("scheduler", "anticipatory"))
+        if scheduler not in SCHEDULER_NAMES:
+            raise ProtocolError(
+                f"unknown scheduler {scheduler!r} "
+                f"(choose from {', '.join(SCHEDULER_NAMES)})"
+            )
+        if "program" not in doc:
+            raise ProtocolError("request needs a 'program' field")
+        trace = trace_from_dict(doc["program"])
+        machine = machine_from_dict(doc.get("machine") or {})
+        if not machine.can_execute(trace.graph):
+            raise ProtocolError(
+                "machine cannot execute program: some fu class has no "
+                "usable unit"
+            )
+        return cls(
+            trace=trace,
+            machine=machine,
+            scheduler=scheduler,
+            id=doc.get("id"),
+        )
+
+
+def ok_response(
+    request_id: object,
+    digest: str,
+    cached: bool,
+    result: Mapping,
+) -> dict:
+    """A success response: the schedule result plus cache provenance."""
+    out = {
+        "v": PROTOCOL_VERSION,
+        "ok": True,
+        "digest": digest,
+        "cached": bool(cached),
+        "block_orders": [list(o) for o in result["block_orders"]],
+        "makespan": result["makespan"],
+        "stall_cycles": result["stall_cycles"],
+        "schedule_digest": result["schedule_digest"],
+    }
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def error_response(request_id: object, message: str) -> dict:
+    out = {"v": PROTOCOL_VERSION, "ok": False, "error": str(message)}
+    if request_id is not None:
+        out["id"] = request_id
+    return out

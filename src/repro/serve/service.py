@@ -1,0 +1,295 @@
+"""Transport-independent brain of the scheduling service.
+
+:class:`ScheduleService` owns the canonical-digest cache, the robust
+execution pool and the metrics registry; the asyncio daemon
+(:mod:`repro.serve.daemon`) is a thin front-end that decodes bytes and
+feeds request batches here.
+
+Batch lifecycle
+---------------
+
+1. **decode** every wire document (:class:`~repro.serve.protocol
+   .ScheduleRequest`); malformed ones become structured error responses
+   without touching the rest of the batch;
+2. **canonicalize** each request to its isomorphism-safe digest
+   (:func:`~repro.serve.canonical.canonical_form`);
+3. **cache lookup** — a hit translates the stored canonical schedule
+   through the request's own labeling (no scheduler run, no simulation);
+   duplicate digests *within* one batch collapse onto a single compute
+   and the duplicates count as hits;
+4. **compute misses** through the :class:`~repro.robust.ExecutionPool`
+   (fresh crash-isolated workers per batch when ``jobs > 1``) and insert
+   the canonical form of each fresh result;
+5. **respond** in input order.
+
+Bit-identity contract: a miss is answered with the worker's raw result —
+exactly what a direct :func:`repro.serve.worker.compute_request` call
+returns — and a hit for an order-preserving relabeling of a cached request
+reproduces that result through the canonical translation (the scheduler
+tie-breaks by program index, never by name; pinned in
+``tests/serve/test_canonical.py``).
+
+Telemetry: every batch runs under a ``serve.batch`` span (spooled to
+``spool_dir`` when set, so ``repro metrics`` / ``repro top`` work on a live
+daemon's spool directory), each request gets a child ``serve.request``
+span, and the registry carries ``serve.requests`` / ``serve.errors``
+counters plus per-request-class latency histograms
+(``serve.request.<scheduler>.duration_s``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..core.schedule import schedule_digest
+from ..obs import recorder as obs
+from ..obs.metrics import MetricsRegistry
+from ..obs.pipeline import SPAN_DURATION_BUCKETS, TraceContext, spooled_cell
+from ..obs.runreport import RunReport, collect_provenance
+from ..robust.pool import ExecutionPool, PoolConfig
+from .cache import ScheduleCache
+from .canonical import CanonicalForm, canonical_form
+from .protocol import ProtocolError, ScheduleRequest, error_response, ok_response
+from .worker import compute_request
+
+
+def entry_from_result(form: CanonicalForm, result: dict) -> dict:
+    """A freshly computed result, re-expressed in canonical ids for the
+    cache."""
+    cid = form.id_map()
+    return {
+        "block_orders": [[cid[n] for n in order] for order in result["block_orders"]],
+        "makespan": result["makespan"],
+        "stall_cycles": result["stall_cycles"],
+        "starts": [[cid[n], t] for n, t in sorted(result["starts"].items())],
+        "units": [[cid[n], list(u)] for n, u in sorted(result["units"].items())],
+    }
+
+
+def result_from_entry(form: CanonicalForm, entry: dict) -> dict:
+    """A cached canonical entry, translated into the requesting trace's own
+    node names — including the translated schedule's content digest."""
+    names = form.order
+    starts = {names[c]: t for c, t in entry["starts"]}
+    units = {names[c]: tuple(u) for c, u in entry["units"]}
+    return {
+        "block_orders": [[names[c] for c in order] for order in entry["block_orders"]],
+        "makespan": entry["makespan"],
+        "stall_cycles": entry["stall_cycles"],
+        "starts": starts,
+        "units": units,
+        "schedule_digest": schedule_digest(starts, units),
+    }
+
+
+class ScheduleService:
+    """Decode, canonicalize, cache, compute, respond."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_size: int = 1024,
+        cache_path: str | os.PathLike | None = None,
+        spool_dir: str | os.PathLike | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.cache = ScheduleCache(
+            capacity=cache_size, path=cache_path, registry=self.registry
+        )
+        self.pool = ExecutionPool(
+            compute_request,
+            PoolConfig(jobs=jobs, timeout_s=timeout_s, retries=retries),
+        )
+        self.spool_dir = spool_dir
+        self.context = TraceContext.new()
+        self.requests = 0
+        self.errors = 0
+        self.batches = 0
+
+    # -- public entry points -------------------------------------------------
+
+    def handle(self, doc: dict) -> dict:
+        """One request through the full batch path."""
+        return self.handle_batch([doc])[0]
+
+    def handle_batch(self, docs: list) -> list[dict]:
+        """Answer a batch of wire documents, responses in input order.
+
+        Runs synchronously in the calling thread; the daemon serializes
+        batches through a single executor thread because the obs recorder
+        is process-global.
+        """
+        self.batches += 1
+        if self.spool_dir is not None:
+            cell = spooled_cell(
+                self.spool_dir,
+                self.context.child(f"batch-{self.batches}"),
+                cell=self.batches,
+                sim_events=False,
+            )
+            with cell:
+                return self._handle_batch(docs)
+        return self._handle_batch(docs)
+
+    # -- internals -----------------------------------------------------------
+
+    def _handle_batch(self, docs: list) -> list[dict]:
+        t_batch = time.perf_counter()
+        responses: list[dict | None] = [None] * len(docs)
+        slots: list[dict] = []  # decoded, not yet answered
+        with obs.span("serve.batch", size=len(docs)):
+            # 1/2: decode + canonicalize
+            for i, doc in enumerate(docs):
+                self.requests += 1
+                self.registry.counter("serve.requests").inc()
+                started = time.perf_counter()
+                try:
+                    request = ScheduleRequest.from_dict(doc)
+                except ProtocolError as exc:
+                    responses[i] = self._error(doc, str(exc))
+                    continue
+                form = canonical_form(
+                    request.trace, request.machine, request.scheduler
+                )
+                slots.append(
+                    {
+                        "index": i,
+                        "request": request,
+                        "form": form,
+                        "started": started,
+                    }
+                )
+
+            # 3: cache lookup with within-batch dedupe
+            pending: dict[str, list[dict]] = {}
+            for slot in slots:
+                form = slot["form"]
+                waiting = pending.get(form.digest)
+                if waiting is not None:
+                    # Another request in this batch is already computing
+                    # this digest: served without a scheduler run == a hit.
+                    self.cache.note_hit()
+                    slot["cached"] = True
+                    waiting.append(slot)
+                    continue
+                entry = self.cache.get(form.digest)
+                if entry is not None:
+                    responses[slot["index"]] = self._ok(
+                        slot, result_from_entry(form, entry), cached=True
+                    )
+                else:
+                    slot["cached"] = False
+                    pending[form.digest] = [slot]
+
+            # 4: compute misses through the robust pool
+            if pending:
+                order = list(pending.values())
+                with obs.span("serve.compute", misses=len(order)):
+                    outcome = self.pool.run(
+                        [group[0]["request"].to_dict() for group in order]
+                    )
+                for group, result in zip(order, outcome.results):
+                    first = group[0]
+                    if not isinstance(result, dict):  # a SweepFailure
+                        for slot in group:
+                            responses[slot["index"]] = self._error(
+                                slot["request"],
+                                f"scheduling failed: {result}",
+                                decoded=True,
+                            )
+                        continue
+                    self.cache.put(
+                        first["form"].digest,
+                        entry_from_result(first["form"], result),
+                    )
+                    # The computing request gets the worker's raw answer —
+                    # bit-identical to an uncached direct call.
+                    responses[first["index"]] = self._ok(
+                        first, result, cached=False
+                    )
+                    for slot in group[1:]:
+                        responses[slot["index"]] = self._ok(
+                            slot,
+                            result_from_entry(
+                                slot["form"],
+                                entry_from_result(first["form"], result),
+                            ),
+                            cached=True,
+                        )
+        self.registry.histogram(
+            "serve.batch.duration_s", SPAN_DURATION_BUCKETS
+        ).observe(time.perf_counter() - t_batch)
+        return [r for r in responses]  # all filled by construction
+
+    def _ok(self, slot: dict, result: dict, cached: bool) -> dict:
+        request: ScheduleRequest = slot["request"]
+        elapsed = time.perf_counter() - slot["started"]
+        self.registry.counter(f"serve.requests.{request.scheduler}").inc()
+        self.registry.histogram(
+            f"serve.request.{request.scheduler}.duration_s",
+            SPAN_DURATION_BUCKETS,
+        ).observe(elapsed)
+        with obs.span(
+            "serve.request",
+            scheduler=request.scheduler,
+            digest=slot["form"].digest[:16],
+            cached=cached,
+        ):
+            pass
+        return ok_response(request.id, slot["form"].digest, cached, result)
+
+    def _error(self, doc_or_request, message: str, decoded: bool = False) -> dict:
+        self.errors += 1
+        self.registry.counter("serve.errors").inc()
+        obs.count("serve.error")
+        if decoded:
+            request_id = doc_or_request.id
+        else:
+            request_id = (
+                doc_or_request.get("id") if isinstance(doc_or_request, dict) else None
+            )
+        return error_response(request_id, message)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "batches": self.batches,
+            "cache": self.cache.stats(),
+            "pool": {
+                "jobs": self.pool.config.jobs,
+                "batches": self.pool.batches,
+                "attempts": self.pool.attempts,
+                "pool_restarts": self.pool.pool_restarts,
+            },
+        }
+
+    def run_report(self, name: str = "serve") -> RunReport:
+        """The service's lifetime metrics as a comparable RunReport.
+
+        Deterministic facts (request/error/cache counts) live under
+        invariant keys; latency histograms live under ``duration_s`` paths,
+        which ``repro compare`` thresholds instead of pinning — so the
+        report doubles as a latency-SLO gate.
+        """
+        return RunReport(
+            name=name,
+            metrics={
+                "requests": self.requests,
+                "errors": self.errors,
+                "batches": self.batches,
+                "cache": self.cache.stats(),
+                "latency": {
+                    key: self.registry[key].to_value()
+                    for key in self.registry.names()
+                    if key.endswith(".duration_s")
+                },
+            },
+            provenance=collect_provenance(jobs=self.pool.config.jobs),
+        )

@@ -1,0 +1,295 @@
+"""End-to-end smoke test for the scheduling daemon — ``python -m
+repro.serve.smoke``.
+
+Boots a real :class:`~repro.serve.daemon.ScheduleServer` (unix socket +
+HTTP on a random port) inside the process, then drives it from concurrent
+client threads in two phases over a seeded corpus:
+
+- **cold**: every distinct request once — all must miss the cache and
+  return bit-identically to a direct
+  :func:`repro.serve.worker.compute_request` call;
+- **warm**: every request again, plus an order-preserving *relabeling* of
+  each (fresh SSA-style names, same DAG) — all must **hit** the
+  canonical-digest cache and still match their own direct computation bit
+  for bit.
+
+Hard assertions (exit code 1 on any failure): zero error responses, warm
+``serve.cache.hit`` > 0 with the exact expected hit/miss split,
+bit-identity of every response, and a live Prometheus exposition on
+``GET /metrics``.
+
+With ``--report PATH`` the run writes a
+:class:`~repro.obs.runreport.RunReport` whose invariant metrics (request /
+hit / miss / error counts, bit-identity tallies) are deterministic for a
+fixed seed — CI compares it against ``benchmarks/baselines/serve_smoke
+.json`` with ``repro compare``, so the report doubles as a latency-SLO
+gate: wall-clock keys are thresholded, everything else must match exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..machine.presets import PAPER_CORE, WIDE_VLIW, paper_machine
+from ..ir.instruction import FIXED, FLOAT, MEMORY
+from ..obs.runreport import RunReport, collect_provenance
+from ..workloads.traces import random_trace
+from .client import ScheduleClient, http_get
+from .daemon import ScheduleServer, ServerHandle
+from .canonical import relabel_trace
+from .protocol import SCHEDULER_NAMES, ScheduleRequest, machine_to_dict, trace_to_dict
+from .service import ScheduleService
+from .worker import compute_request
+
+_MACHINES = (PAPER_CORE, paper_machine(2), WIDE_VLIW)
+
+
+class SmokeFailure(AssertionError):
+    """One smoke invariant did not hold."""
+
+
+def build_corpus(n: int, seed: int) -> list[dict]:
+    """``n`` structurally distinct request documents, deterministically
+    seeded; schedulers and machines cycle so every request class appears."""
+    docs = []
+    for i in range(n):
+        machine = _MACHINES[i % len(_MACHINES)]
+        fu_classes = (
+            (FIXED, FLOAT, MEMORY) if machine is WIDE_VLIW else None
+        )
+        trace = random_trace(
+            num_blocks=2 + i % 3,
+            block_size=(3, 6),
+            cross_probability=0.15,
+            latencies=(0, 1, 2),
+            seed=seed + i,
+            **({"fu_classes": fu_classes} if fu_classes else {}),
+        )
+        request = ScheduleRequest(
+            trace=trace,
+            machine=machine,
+            scheduler=SCHEDULER_NAMES[i % len(SCHEDULER_NAMES)],
+            id=f"cold-{i}",
+        )
+        docs.append(request.to_dict())
+    return docs
+
+
+def relabeled_doc(doc: dict, tag: str) -> dict:
+    """An isomorphic variant of ``doc``: every node renamed (order
+    preserved), block names changed, correlation id re-tagged."""
+    from .protocol import trace_from_dict
+
+    trace = trace_from_dict(doc["program"])
+    mapping = {
+        n: f"{tag}_{i}" for i, n in enumerate(trace.graph.nodes)
+    }
+    renamed = relabel_trace(trace, mapping)
+    out = dict(doc)
+    program = trace_to_dict(renamed)
+    for j, block in enumerate(program["blocks"]):
+        block["name"] = f"{tag.upper()}BB{j}"
+    out["program"] = program
+    out["id"] = tag
+    return out
+
+
+def drive(socket_path: Path, docs: list[dict], clients: int) -> list[dict]:
+    """Send ``docs`` through ``clients`` concurrent connections, responses
+    in input order (round-robin sharding, pipelined within a client)."""
+    shards: list[list[tuple[int, dict]]] = [[] for _ in range(clients)]
+    for i, doc in enumerate(docs):
+        shards[i % clients].append((i, doc))
+
+    def run_shard(shard: list[tuple[int, dict]]) -> list[tuple[int, dict]]:
+        out = []
+        with ScheduleClient(socket_path) as client:
+            for i, doc in shard:
+                out.append((i, client.call(doc)))
+        return out
+
+    responses: list[dict | None] = [None] * len(docs)
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        for result in pool.map(run_shard, [s for s in shards if s]):
+            for i, response in result:
+                responses[i] = response
+    return responses  # type: ignore[return-value]
+
+
+def check_phase(
+    name: str,
+    docs: list[dict],
+    responses: list[dict],
+    expect_cached: bool,
+) -> int:
+    """Assert every response is ok, has the expected cache provenance, and
+    is bit-identical to a direct (uncached, in-process) computation.
+    Returns the number of bit-identical responses (== len(docs))."""
+    identical = 0
+    for doc, response in zip(docs, responses):
+        rid = doc.get("id")
+        if not response.get("ok"):
+            raise SmokeFailure(
+                f"{name}: request {rid!r} failed: {response.get('error')}"
+            )
+        if response.get("cached") != expect_cached:
+            raise SmokeFailure(
+                f"{name}: request {rid!r} expected cached={expect_cached}, "
+                f"got {response.get('cached')}"
+            )
+        direct = compute_request(doc)
+        for key in ("block_orders", "makespan", "stall_cycles", "schedule_digest"):
+            if response[key] != direct[key]:
+                raise SmokeFailure(
+                    f"{name}: request {rid!r} field {key!r} diverges from "
+                    f"direct computation:\n  served: {response[key]!r}\n"
+                    f"  direct: {direct[key]!r}"
+                )
+        identical += 1
+    return identical
+
+
+def run_smoke(
+    requests: int = 12,
+    clients: int = 4,
+    jobs: int = 1,
+    seed: int = 0,
+    report_path: str | None = None,
+    workdir: str | None = None,
+) -> RunReport:
+    """Run the full smoke; raises :class:`SmokeFailure` on any violated
+    invariant, returns the (optionally written) RunReport otherwise."""
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        root = Path(tmp)
+        service = ScheduleService(
+            jobs=jobs,
+            cache_size=4 * requests + 8,
+            cache_path=root / "cache.jsonl",
+            spool_dir=root / "spool",
+        )
+        server = ScheduleServer(
+            service,
+            socket_path=root / "serve.sock",
+            port=0,  # bind an ephemeral HTTP port too
+        )
+        cold_docs = build_corpus(requests, seed)
+        warm_docs = [
+            dict(doc, id=f"warm-{i}") for i, doc in enumerate(cold_docs)
+        ] + [relabeled_doc(doc, f"iso{i}") for i, doc in enumerate(cold_docs)]
+
+        with ServerHandle(server):
+            t0 = time.perf_counter()
+            cold = drive(server.socket_path, cold_docs, clients)
+            t_cold = time.perf_counter() - t0
+            cold_ok = check_phase("cold", cold_docs, cold, expect_cached=False)
+
+            t1 = time.perf_counter()
+            warm = drive(server.socket_path, warm_docs, clients)
+            t_warm = time.perf_counter() - t1
+            warm_ok = check_phase("warm", warm_docs, warm, expect_cached=True)
+
+            status, metrics_body = http_get(server.host, server.port, "/metrics")
+            if status != 200 or b"serve_cache_hit_total" not in metrics_body:
+                raise SmokeFailure(
+                    f"GET /metrics: status {status}, cache-hit series missing"
+                )
+            status, _ = http_get(server.host, server.port, "/healthz")
+            if status != 200:
+                raise SmokeFailure(f"GET /healthz: status {status}")
+            stats = service.stats()
+
+    cache = stats["cache"]
+    if cache["hits"] != len(warm_docs):
+        raise SmokeFailure(
+            f"expected exactly {len(warm_docs)} cache hits "
+            f"(every warm request), got {cache['hits']}"
+        )
+    if cache["misses"] != len(cold_docs):
+        raise SmokeFailure(
+            f"expected exactly {len(cold_docs)} cache misses "
+            f"(every cold request), got {cache['misses']}"
+        )
+    if stats["errors"]:
+        raise SmokeFailure(f"{stats['errors']} error response(s)")
+    unique = len({r["digest"] for r in cold})
+    if unique != len(cold_docs):
+        raise SmokeFailure(
+            f"cold corpus collapsed to {unique} digests, expected "
+            f"{len(cold_docs)} distinct"
+        )
+
+    report = RunReport(
+        name="serve_smoke",
+        metrics={
+            "requests": stats["requests"],
+            "errors": stats["errors"],
+            "unique_digests": unique,
+            "bit_identical": cold_ok + warm_ok,
+            "cache": {
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "evictions": cache["evictions"],
+            },
+            "latency": {
+                "cold_wall_s": t_cold,
+                "warm_wall_s": t_warm,
+                "cold_per_request_s": t_cold / len(cold_docs),
+                "warm_per_request_s": t_warm / len(warm_docs),
+            },
+        },
+        phases={"cold": t_cold, "warm": t_warm},
+        provenance=collect_provenance(
+            seed=seed, requests=requests, clients=clients, jobs=jobs
+        ),
+    )
+    if report_path:
+        report.write(report_path)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument("--requests", type=int, default=12,
+                        help="distinct kernels in the corpus (default 12)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client connections (default 4)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="service worker processes (default 1: in-process)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the RunReport JSON here")
+    args = parser.parse_args(argv)
+    try:
+        report = run_smoke(
+            requests=args.requests,
+            clients=args.clients,
+            jobs=args.jobs,
+            seed=args.seed,
+            report_path=args.report,
+        )
+    except SmokeFailure as exc:
+        print(f"serve smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    metrics = report.metrics
+    print(
+        "serve smoke OK: "
+        f"{metrics['requests']} requests, "
+        f"{metrics['cache']['hits']} hits / {metrics['cache']['misses']} misses, "
+        f"{metrics['bit_identical']} bit-identical responses "
+        f"(cold {report.phases['cold']:.3f}s, warm {report.phases['warm']:.3f}s)"
+    )
+    if args.report:
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    sys.exit(main())

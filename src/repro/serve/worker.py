@@ -1,0 +1,69 @@
+"""The service's compute kernel: schedule one request, ground-truth it in
+the window simulator, return plain data.
+
+:func:`compute_request` is deliberately a **module-level function of one
+JSON-able argument returning a JSON-able dict** so it satisfies the
+picklability contract of :class:`repro.robust.ExecutionPool` — the daemon
+can dispatch batches to fork-based worker processes and inherit the sweep
+driver's timeout/retry/crash-blame machinery unchanged.  Everything a
+response or cache entry needs is in the returned dict; no live objects
+cross the process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core import algorithm_lookahead, local_block_orders
+from ..ir.basicblock import Trace
+from ..machine.model import MachineModel
+from ..schedulers import (
+    block_orders_with_priority,
+    critical_path_priority,
+    source_order_priority,
+)
+from ..sim import simulate_trace
+from .protocol import ScheduleRequest
+
+
+def compute_block_orders(
+    trace: Trace, machine: MachineModel, scheduler: str
+) -> list[list[str]]:
+    """Dispatch on scheduler name — the same table ``repro schedule``
+    uses, shared so the daemon can never drift from the CLI."""
+    if scheduler == "anticipatory":
+        return algorithm_lookahead(trace, machine).block_orders
+    if scheduler == "local":
+        return local_block_orders(trace, machine)
+    if scheduler == "critical-path":
+        return block_orders_with_priority(trace, critical_path_priority, machine)
+    if scheduler == "source":
+        return block_orders_with_priority(trace, source_order_priority, machine)
+    raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+def compute_schedule(request: ScheduleRequest) -> dict:
+    """Schedule + simulate one decoded request.
+
+    The returned dict is the full uncached answer: emitted block orders,
+    the simulated makespan / stall count, the runtime schedule's start
+    times and unit assignments (needed so cache hits can reconstruct the
+    response without re-running anything), and the schedule's own content
+    digest (:meth:`repro.core.schedule.Schedule.digest`).
+    """
+    orders = compute_block_orders(request.trace, request.machine, request.scheduler)
+    sim = simulate_trace(request.trace, orders, request.machine)
+    schedule = sim.schedule
+    return {
+        "block_orders": [list(o) for o in orders],
+        "makespan": sim.makespan,
+        "stall_cycles": sim.stall_cycles,
+        "starts": dict(schedule.starts),
+        "units": {n: list(u) for n, u in schedule.units.items()},
+        "schedule_digest": schedule.digest(),
+    }
+
+
+def compute_request(doc: Mapping) -> dict:
+    """Picklable pool entry point: wire dict in, result dict out."""
+    return compute_schedule(ScheduleRequest.from_dict(doc))

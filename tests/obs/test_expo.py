@@ -67,6 +67,24 @@ class TestPrometheusText:
         assert sample_lines
         assert all('trace_id="abc123"' in ln for ln in sample_lines)
 
+    def test_label_values_escape_quotes_backslashes_and_newlines(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        text = prometheus_text(
+            reg, labels={"path": 'a"b\\c\nd'}
+        )
+        # The exposition format requires \n inside label values to be the
+        # two-character escape, never a raw newline (which would tear the
+        # sample line in half and corrupt the whole scrape).
+        sample = [
+            ln for ln in text.splitlines()
+            if ln and not ln.startswith("#")
+        ]
+        assert len(sample) == 1
+        assert '\\"b' in sample[0]
+        assert "\\\\c" in sample[0]
+        assert "\\nd" in sample[0]
+
     def test_namespace_override(self):
         text = prometheus_text(self._registry(), namespace="spaa96")
         assert "spaa96_guard_fallback_total 3" in text

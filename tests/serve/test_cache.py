@@ -1,0 +1,133 @@
+"""Tests for the content-addressed schedule cache: LRU bounds, counters,
+and crash-tolerant JSONL persistence."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import TraceRecorder, recording
+from repro.serve.cache import ScheduleCache
+
+E1 = {"makespan": 3}
+E2 = {"makespan": 5}
+E3 = {"makespan": 7}
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        cache = ScheduleCache(capacity=4)
+        assert cache.get("d1") is None
+        cache.put("d1", E1)
+        assert cache.get("d1") == E1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put("a", E1)
+        cache.put("b", E2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", E3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put("a", E1)
+        cache.put("b", E2)
+        cache.put("a", E3)  # refresh, not insert
+        cache.put("c", E1)
+        assert "a" in cache and "b" not in cache
+
+    def test_note_hit_counts_without_lookup(self):
+        cache = ScheduleCache(capacity=2)
+        cache.note_hit()
+        assert cache.hits == 1
+
+    def test_capacity_validated(self):
+        try:
+            ScheduleCache(capacity=0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("capacity=0 accepted")
+
+
+class TestCounters:
+    def test_registry_mirrors_hit_miss_evict(self):
+        reg = MetricsRegistry()
+        cache = ScheduleCache(capacity=1, registry=reg)
+        cache.get("x")
+        cache.put("x", E1)
+        cache.get("x")
+        cache.put("y", E2)  # evicts x
+        assert reg.counter("serve.cache.hit").value == 1
+        assert reg.counter("serve.cache.miss").value == 1
+        assert reg.counter("serve.cache.evict").value == 1
+
+    def test_active_recorder_sees_counts(self):
+        cache = ScheduleCache(capacity=4)
+        with recording(TraceRecorder()) as rec:
+            cache.get("x")
+            cache.put("x", E1)
+            cache.get("x")
+        assert rec.counters["serve.cache.miss"] == 1
+        assert rec.counters["serve.cache.hit"] == 1
+
+
+class TestPersistence:
+    def test_roundtrip_across_restart(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cache = ScheduleCache(capacity=8, path=path)
+        cache.put("a", E1)
+        cache.put("b", E2)
+        reborn = ScheduleCache(capacity=8, path=path)
+        assert reborn.get("a") == E1
+        assert reborn.get("b") == E2
+
+    def test_last_write_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps({"digest": "a", "entry": {"v": 1}}) + "\n")
+            fh.write(json.dumps({"digest": "a", "entry": {"v": 2}}) + "\n")
+        cache = ScheduleCache(capacity=8, path=path)
+        assert cache.peek("a") == {"v": 2}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps({"digest": "a", "entry": E1}) + "\n")
+            fh.write('{"digest": "b", "entry": {"mak')  # daemon died here
+        cache = ScheduleCache(capacity=8, path=path)
+        assert cache.peek("a") == E1
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            "not json\n"
+            + json.dumps({"digest": 5, "entry": E1})  # bad digest type
+            + "\n"
+            + json.dumps({"digest": "ok", "entry": E2})
+            + "\n"
+        )
+        cache = ScheduleCache(capacity=8, path=path)
+        assert len(cache) == 1 and cache.peek("ok") == E2
+
+    def test_load_respects_capacity_keeping_most_recent(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with path.open("w") as fh:
+            for i in range(5):
+                fh.write(
+                    json.dumps({"digest": f"d{i}", "entry": {"i": i}}) + "\n"
+                )
+        cache = ScheduleCache(capacity=2, path=path)
+        assert len(cache) == 2
+        assert cache.peek("d3") and cache.peek("d4")
+
+    def test_refreshing_known_digest_does_not_reappend(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cache = ScheduleCache(capacity=8, path=path)
+        cache.put("a", E1)
+        cache.put("a", E1)
+        assert len(path.read_text().splitlines()) == 1

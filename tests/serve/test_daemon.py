@@ -1,0 +1,123 @@
+"""Tests for the asyncio daemon: both transports, batching, control ops,
+malformed input."""
+
+import json
+
+import pytest
+
+from repro.machine.presets import PAPER_CORE
+from repro.serve.client import ScheduleClient, http_get, http_schedule
+from repro.serve.daemon import ScheduleServer, ServerHandle
+from repro.serve.protocol import ScheduleRequest
+from repro.serve.service import ScheduleService
+from repro.workloads.traces import random_trace
+
+
+def _doc(seed=0, rid=None):
+    trace = random_trace(2, (3, 4), cross_probability=0.2, seed=seed)
+    return ScheduleRequest(
+        trace=trace, machine=PAPER_CORE, id=rid
+    ).to_dict()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = ScheduleService(spool_dir=tmp_path / "spool")
+    srv = ScheduleServer(
+        service,
+        socket_path=tmp_path / "serve.sock",
+        port=0,
+        batch_window_s=0.001,
+    )
+    with ServerHandle(srv):
+        yield srv
+
+
+class TestUnixTransport:
+    def test_schedule_miss_then_hit(self, server):
+        doc = _doc(seed=1, rid="a")
+        with ScheduleClient(server.socket_path) as client:
+            first = client.call(doc)
+            second = client.call(dict(doc, id="b"))
+        assert first["ok"] and first["cached"] is False
+        assert second["ok"] and second["cached"] is True
+        assert first["id"] == "a" and second["id"] == "b"
+        assert first["block_orders"] == second["block_orders"]
+
+    def test_control_ops(self, server):
+        with ScheduleClient(server.socket_path) as client:
+            assert client.ping() == {"ok": True, "op": "ping"}
+            client.call(_doc(seed=2))
+            stats = client.stats()
+            assert stats["requests"] == 1
+            assert "serve_cache_miss_total" in client.metrics_text()
+
+    def test_bad_json_line_gets_error_response(self, server):
+        with ScheduleClient(server.socket_path) as client:
+            client._file.write(b"this is not json\n")
+            client._file.flush()
+            response = json.loads(client._file.readline())
+        assert response["ok"] is False and "bad JSON" in response["error"]
+
+    def test_unknown_op(self, server):
+        with ScheduleClient(server.socket_path) as client:
+            out = client.call({"op": "frobnicate"})
+        assert out["ok"] is False
+
+    def test_pipelined_requests_answered_in_order(self, server):
+        docs = [_doc(seed=s, rid=f"r{s}") for s in range(6)]
+        with ScheduleClient(server.socket_path) as client:
+            for doc in docs:
+                client._file.write(json.dumps(doc).encode() + b"\n")
+            client._file.flush()
+            responses = [json.loads(client._file.readline()) for _ in docs]
+        assert [r["id"] for r in responses] == [f"r{s}" for s in range(6)]
+        assert all(r["ok"] for r in responses)
+
+
+class TestHttpTransport:
+    def test_healthz(self, server):
+        status, body = http_get(server.host, server.port, "/healthz")
+        assert status == 200 and body == b"ok\n"
+
+    def test_schedule_and_metrics(self, server):
+        status, response = http_schedule(server.host, server.port, _doc(seed=3))
+        assert status == 200 and response["ok"]
+        status, body = http_get(server.host, server.port, "/metrics")
+        assert status == 200
+        assert b"repro_serve_requests_total" in body
+
+    def test_batch_post(self, server):
+        doc = _doc(seed=4)
+        status, out = http_schedule(
+            server.host, server.port,
+            {"requests": [doc, dict(doc, id="dup")]},
+        )
+        assert status == 200
+        responses = out["responses"]
+        assert len(responses) == 2 and all(r["ok"] for r in responses)
+        # The pair shares a digest: exactly one computed, one cache-served.
+        assert sorted(r["cached"] for r in responses) == [False, True]
+
+    def test_stats_endpoint(self, server):
+        http_schedule(server.host, server.port, _doc(seed=5))
+        status, body = http_get(server.host, server.port, "/stats")
+        assert status == 200
+        assert json.loads(body)["requests"] >= 1
+
+    def test_unknown_path_404(self, server):
+        status, _ = http_get(server.host, server.port, "/nope")
+        assert status == 404
+
+
+class TestLifecycle:
+    def test_requires_some_transport(self):
+        with pytest.raises(ValueError, match="socket path and/or a TCP port"):
+            ScheduleServer(ScheduleService())
+
+    def test_socket_file_removed_on_stop(self, tmp_path):
+        path = tmp_path / "s.sock"
+        srv = ScheduleServer(ScheduleService(), socket_path=path)
+        with ServerHandle(srv):
+            assert path.exists()
+        assert not path.exists()

@@ -1,0 +1,120 @@
+"""Tests for the wire codecs: roundtrips and malformed-input errors."""
+
+import pytest
+
+from repro.ir.instruction import ANY
+from repro.machine.presets import PAPER_CORE, RS6000_LIKE
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ScheduleRequest,
+    error_response,
+    machine_from_dict,
+    machine_to_dict,
+    ok_response,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workloads.traces import random_trace
+
+
+def _doc(seed=0, **overrides):
+    trace = random_trace(2, (3, 4), seed=seed)
+    doc = ScheduleRequest(trace=trace, machine=PAPER_CORE).to_dict()
+    doc.update(overrides)
+    return doc
+
+
+class TestRoundtrip:
+    def test_trace_roundtrip_preserves_everything(self):
+        trace = random_trace(
+            3, (2, 5), cross_probability=0.3, latencies=(0, 1, 2),
+            exec_times=(1, 2), seed=4,
+        )
+        back = trace_from_dict(trace_to_dict(trace))
+        assert [bb.name for bb in back.blocks] == [bb.name for bb in trace.blocks]
+        assert list(back.graph.nodes) == list(trace.graph.nodes)
+        assert sorted(back.graph.edges()) == sorted(trace.graph.edges())
+        for n in trace.graph.nodes:
+            assert back.graph.exec_time(n) == trace.graph.exec_time(n)
+            assert back.graph.fu_class(n) == trace.graph.fu_class(n)
+
+    def test_machine_roundtrip(self):
+        for machine in (PAPER_CORE, RS6000_LIKE):
+            back = machine_from_dict(machine_to_dict(machine))
+            assert back == machine
+
+    def test_request_roundtrip(self):
+        doc = _doc(seed=9)
+        request = ScheduleRequest.from_dict(doc)
+        assert request.scheduler == "anticipatory"
+        assert request.to_dict()["program"] == doc["program"]
+
+    def test_minimal_node_entries(self):
+        trace = trace_from_dict(
+            {"blocks": [{"nodes": ["a", ["b", 2], ["c", 1, ANY]],
+                         "edges": [["a", "b"]]}]}
+        )
+        assert trace.graph.exec_time("b") == 2
+        assert trace.graph.latency("a", "b") == 0
+
+
+class TestErrors:
+    def test_unknown_scheduler(self):
+        with pytest.raises(ProtocolError, match="unknown scheduler"):
+            ScheduleRequest.from_dict(_doc(scheduler="magic"))
+
+    def test_missing_program(self):
+        doc = _doc()
+        del doc["program"]
+        with pytest.raises(ProtocolError, match="program"):
+            ScheduleRequest.from_dict(doc)
+
+    def test_future_protocol_version(self):
+        with pytest.raises(ProtocolError, match="version"):
+            ScheduleRequest.from_dict(_doc(v=PROTOCOL_VERSION + 1))
+
+    def test_empty_blocks(self):
+        with pytest.raises(ProtocolError, match="blocks"):
+            trace_from_dict({"blocks": []})
+
+    def test_bad_edge_endpoint(self):
+        with pytest.raises(ProtocolError, match="bad edge"):
+            trace_from_dict(
+                {"blocks": [{"nodes": ["a"], "edges": [["a", "ghost"]]}]}
+            )
+
+    def test_non_object_request(self):
+        with pytest.raises(ProtocolError, match="object"):
+            ScheduleRequest.from_dict([1, 2])
+
+    def test_infeasible_machine_rejected(self):
+        doc = _doc()
+        # Retype one instruction to a class the machine has no unit for.
+        doc["program"]["blocks"][0]["nodes"][0][2] = "vector"
+        doc["machine"] = {"window_size": 4, "fu_counts": {"fixed": 1}}
+        with pytest.raises(ProtocolError, match="cannot execute"):
+            ScheduleRequest.from_dict(doc)
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        result = {
+            "block_orders": [["a", "b"]],
+            "makespan": 2,
+            "stall_cycles": 0,
+            "schedule_digest": "ff" * 32,
+        }
+        out = ok_response("rq-1", "ab" * 32, True, result)
+        assert out["ok"] and out["cached"] and out["id"] == "rq-1"
+        assert out["digest"] == "ab" * 32
+        assert out["block_orders"] == [["a", "b"]]
+
+    def test_error_response_echoes_id(self):
+        out = error_response("rq-2", "boom")
+        assert out == {
+            "v": PROTOCOL_VERSION, "ok": False, "error": "boom", "id": "rq-2",
+        }
+
+    def test_error_response_without_id(self):
+        assert "id" not in error_response(None, "boom")
