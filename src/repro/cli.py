@@ -68,6 +68,7 @@ from .obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .serve.tracebuf import WATERFALL_KIND, waterfall_text
 from .sim import simulate_loop_order, simulate_trace, simulated_initiation_interval
 
 MACHINES = {
@@ -174,6 +175,36 @@ def cmd_loop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_waterfalls(records: list[dict]) -> int:
+    """Render one or more concatenated request waterfalls (the
+    ``/debug/traces?format=jsonl`` output) as indented span timelines."""
+    groups: list[list[dict]] = []
+    for r in records:
+        if r.get("type") == "meta":
+            groups.append([r])
+        elif groups:
+            groups[-1].append(r)
+    for i, group in enumerate(groups):
+        meta = group[0]
+        req = meta.get("request") or {}
+        if i:
+            print()
+        status = req.get("status", "ok")
+        if status != "ok" and req.get("error"):
+            status = f"error ({req['error']})"
+        print(
+            f"request {meta.get('trace_id', '?')} "
+            f"[{req.get('scheduler', '?')}, "
+            f"{'cache hit' if req.get('cached') else 'miss'}, {status}] "
+            f"{float(req.get('duration_s') or 0.0) * 1e3:.3f} ms "
+            f"via {req.get('transport', 'unknown')}"
+        )
+        for line in waterfall_text(group):
+            print(f"  {line}")
+    print(f"\n{len(groups)} request waterfall(s)")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Replay a recorded JSONL trace as a per-cycle timeline."""
     try:
@@ -185,6 +216,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if meta is None:
         print("error: not a repro trace file (no meta record)", file=sys.stderr)
         return 2
+    if meta.get("kind") == WATERFALL_KIND:
+        # A request waterfall captured from the daemon's trace buffer
+        # (/debug/traces?format=jsonl or smoke --waterfall): render the span
+        # tree as an indented timeline instead of the simulator replay.
+        return _render_waterfalls(records)
     # Schema v1 files carry no trace_id/pid fields; everything below treats
     # them as absent, so either version replays.
     if meta.get("trace_id"):
@@ -619,6 +655,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         batch_max=args.batch_max,
         batch_window_s=args.batch_window_ms / 1000.0,
+        access_log=args.access_log,
     )
 
     async def _run() -> None:
@@ -670,10 +707,53 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_top(args: argparse.Namespace) -> int:
-    """Live terminal view of a running sweep's spool directory."""
-    from .obs.expo import watch_spools
+def _daemon_fetch(addr: str):
+    """A zero-arg fetcher for ``repro top --connect ADDR`` — ADDR is either
+    ``host:port`` (HTTP ``/debug/top``) or a unix socket path (``top`` op).
+    """
+    host, sep, port = addr.rpartition(":")
+    if sep and port.isdigit() and "/" not in addr:
+        from .serve.client import http_get
 
+        def fetch() -> dict:
+            status, body = http_get(host or "127.0.0.1", int(port), "/debug/top")
+            if status != 200:
+                raise ConnectionError(f"GET /debug/top -> {status}")
+            return json.loads(body)
+
+        return fetch
+
+    from .serve.client import ScheduleClient
+
+    def fetch() -> dict:
+        with ScheduleClient(addr, connect_attempts=1) as client:
+            return client.top()
+
+    return fetch
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running sweep's spool directory, or — with
+    ``--connect`` — of a running scheduling daemon."""
+    from .obs.expo import watch_daemon, watch_spools
+
+    if args.connect:
+        try:
+            watch_daemon(
+                _daemon_fetch(args.connect),
+                interval_s=args.interval_s,
+                iterations=args.frames,
+                label=args.connect,
+            )
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach daemon at {args.connect}: {exc}",
+                  file=sys.stderr)
+            return 2
+        return 0
+    if not args.spool_dir:
+        print("error: need a spool directory or --connect ADDR",
+              file=sys.stderr)
+        return 2
     if not Path(args.spool_dir).is_dir():
         print(f"error: {args.spool_dir} is not a directory", file=sys.stderr)
         return 2
@@ -840,6 +920,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=1,
                    help="extra attempts per request on worker crash or "
                         "timeout (default 1)")
+    p.add_argument("--access-log", metavar="FILE", default=None,
+                   help="append one structured JSON line per request "
+                        "(trace_id, digest, hit/miss, duration, status)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -884,9 +967,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "top",
         help="live terminal view of a running sweep's spool directory "
-             "(per-phase rates, latency percentiles, guard/fault counters)",
+             "(per-phase rates, latency percentiles, guard/fault counters) "
+             "or, with --connect, of a running scheduling daemon",
     )
-    p.add_argument("spool_dir", help="spool directory being written by a sweep")
+    p.add_argument("spool_dir", nargs="?", default=None,
+                   help="spool directory being written by a sweep")
+    p.add_argument("--connect", metavar="ADDR", default=None,
+                   help="watch a running daemon instead: host:port (HTTP "
+                        "/debug/top) or a unix socket path")
     p.add_argument("--interval", dest="interval_s", type=float, default=1.0,
                    metavar="SEC", help="refresh interval (default 1s)")
     p.add_argument("--frames", type=int, default=None, metavar="N",

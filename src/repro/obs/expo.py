@@ -206,6 +206,148 @@ def top_snapshot(
     return "\n".join(lines)
 
 
+def daemon_snapshot(
+    doc: Mapping,
+    previous: Mapping | None = None,
+    dt_s: float | None = None,
+    width: int = 78,
+) -> str:
+    """One rendered frame of ``repro top --connect`` from a daemon's
+    ``/debug/top`` document (``{"stats": ..., "metrics": ...}``).
+
+    Same layout philosophy as :func:`top_snapshot`, but sourced from the
+    live registry instead of spool files: request/error/uptime header,
+    per-class latency histograms with p50/p90/p99, cache and SLO health,
+    and the ``serve.*`` counters.
+    """
+    stats = doc.get("stats", {}) or {}
+    metrics = doc.get("metrics", {}) or {}
+    lines: list[str] = []
+    requests = stats.get("requests", 0)
+    cache = stats.get("cache", {}) or {}
+    ratio = stats.get("cache_hit_ratio")
+    head = (
+        f"requests {requests}  errors {stats.get('errors', 0)}"
+        f"  batches {stats.get('batches', 0)}"
+        f"  uptime {stats.get('uptime_s', 0.0):.0f}s"
+        f"  cache {cache.get('hits', 0)}/{cache.get('misses', 0)}"
+        + (f" ({ratio * 100:.0f}% hit)" if ratio is not None else "")
+    )
+    if previous is not None and dt_s and dt_s > 0:
+        prev_requests = (previous.get("stats", {}) or {}).get("requests", 0)
+        head += f"  throughput {(requests - prev_requests) / dt_s:.1f} req/s"
+    lines.append(head[:width])
+    lines.append("-" * min(width, len(head)))
+
+    transports = stats.get("transports") or {}
+    if transports:
+        lines.append(
+            "transports: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(transports.items()))
+        )
+    slo = stats.get("slo") or {}
+    if slo:
+        lines.append(
+            f"slo: objective {slo.get('objective')}"
+            f"  bad {slo.get('bad', 0)}/{slo.get('total', 0)}"
+            f"  burn fast {slo.get('fast_burn_rate', 0.0):.2f}x"
+            f" / slow {slo.get('slow_burn_rate', 0.0):.2f}x"
+            + ("  PAGE" if slo.get("page") else "")
+            + ("  ticket" if slo.get("ticket") else "")
+        )
+    traces = stats.get("traces") or {}
+    if traces:
+        p99 = traces.get("p99_s")
+        lines.append(
+            f"traces: {traces.get('added', 0)} seen"
+            f"  rings recent={traces.get('recent', 0)}"
+            f" slow={traces.get('slow', 0)}"
+            f" errors={traces.get('errors', 0)}"
+            + (f"  p99 {p99 * 1e3:.2f} ms" if p99 is not None else "")
+        )
+
+    histograms = {
+        name: value
+        for name, value in metrics.items()
+        if isinstance(value, Mapping) and "count" in value
+    }
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<34} {'count':>7} {'rate/s':>8} "
+            f"{'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8}"
+        )
+        prev_metrics = (previous or {}).get("metrics", {}) or {}
+        for name in sorted(histograms):
+            value = histograms[name]
+            count = value.get("count", 0)
+            if previous is not None and dt_s and dt_s > 0:
+                prev = prev_metrics.get(name) or {}
+                rate = f"{(count - prev.get('count', 0)) / dt_s:8.1f}"
+            else:
+                rate = f"{'-':>8}"
+            cells = []
+            for p in ("p50", "p90", "p99"):
+                v = value.get(p)
+                cells.append(f"{v * 1e3:8.2f}" if v is not None else f"{'-':>8}")
+            lines.append(
+                f"{name[:34]:<34} {count:>7} {rate} " + " ".join(cells)
+            )
+
+    counters = {
+        name: value
+        for name, value in sorted(metrics.items())
+        if isinstance(value, int) and name.startswith("serve.")
+    }
+    if counters:
+        lines.append("")
+        lines.append("serve counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<38} {value:>10}")
+    return "\n".join(lines)
+
+
+def watch_daemon(
+    fetch,
+    interval_s: float = 1.0,
+    iterations: int | None = None,
+    out=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+    label: str = "",
+) -> int:
+    """The ``repro top --connect`` loop: call ``fetch()`` (which returns a
+    ``/debug/top`` document) every ``interval_s`` and render a fresh
+    :func:`daemon_snapshot` frame.  Returns the number of frames."""
+    import sys
+
+    out = out or sys.stdout
+    frames = 0
+    previous: Mapping | None = None
+    last_t: float | None = None
+    try:
+        while iterations is None or frames < iterations:
+            doc = fetch()
+            now = clock()
+            dt = (now - last_t) if last_t is not None else None
+            if frames:
+                out.write("\x1b[2J\x1b[H")
+            out.write(
+                f"repro top — {label or 'daemon'}  "
+                f"(refresh {interval_s:g}s, frame {frames + 1})\n"
+            )
+            out.write(daemon_snapshot(doc, previous, dt) + "\n")
+            out.flush()
+            previous, last_t = doc, now
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return frames
+
+
 def watch_spools(
     directory: str,
     interval_s: float = 1.0,

@@ -27,7 +27,7 @@ from pathlib import Path
 from typing import Iterator
 
 from .events import SimEvent, SimTrace, STALL_KINDS
-from .recorder import TraceRecorder
+from .recorder import SpanRecord, TraceRecorder
 
 JSONL_FORMAT = "repro-trace"
 #: v2 adds span ``pid``/``trace_id`` fields, ``counter_sample`` records and
@@ -97,6 +97,41 @@ def read_jsonl(path: str | Path) -> list[dict]:
         if line:
             records.append(json.loads(line))
     return records
+
+
+def records_to_recorder(records: list[dict]) -> TraceRecorder:
+    """Rebuild a :class:`TraceRecorder` from parsed JSONL records — the
+    inverse of :func:`recorder_records` (modulo the meta line).  Lets a
+    trace fetched from elsewhere (e.g. a daemon's ``/debug/traces``
+    waterfall) flow through the Chrome/Perfetto exporter unchanged."""
+    from .pipeline import TraceContext
+
+    recorder = TraceRecorder(sim_events=False, counter_samples=False)
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    if meta is not None and meta.get("trace_id"):
+        recorder.context = TraceContext(
+            trace_id=str(meta["trace_id"]),
+            pid=int(meta.get("pid") or recorder.context.pid),
+        )
+    for r in records:
+        kind = r.get("type")
+        if kind == "span":
+            recorder.spans.append(SpanRecord.from_dict(r))
+        elif kind == "counter":
+            recorder.counters[str(r["name"])] = int(r["value"])
+        elif kind == "counter_sample":
+            recorder.counter_samples.append(
+                (
+                    int(r["t_us"]) * 1000,
+                    str(r["name"]),
+                    int(r["value"]),
+                    int(r.get("pid", 0)),
+                )
+            )
+    recorder.spans.sort(key=lambda s: s.start_ns)
+    for trace in sim_traces_from_records(records):
+        recorder.add_sim_trace(trace)
+    return recorder
 
 
 def sim_traces_from_records(records: list[dict]) -> list[SimTrace]:

@@ -80,13 +80,23 @@ class SamplingProfiler:
         interval_s: float = DEFAULT_INTERVAL_S,
         mode: str = "auto",
         max_depth: int = 128,
+        target_thread_id: int | None = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("interval_s must be > 0")
         if mode not in ("auto", "itimer", "thread"):
             raise ValueError(f"unknown profiler mode {mode!r}")
+        if target_thread_id is not None and mode == "itimer":
+            raise ValueError(
+                "target_thread_id requires thread mode (itimer only "
+                "samples the main thread)"
+            )
         self.interval_s = interval_s
         self.max_depth = max_depth
+        #: Sample this thread instead of the one calling ``start()`` —
+        #: forces thread mode.  Lets a daemon profile e.g. its batch
+        #: executor thread from the asyncio thread.
+        self.target_thread_id = target_thread_id
         self.requested_mode = mode
         #: The engine actually used ("itimer" or "thread"); set by start().
         self.mode: str | None = None
@@ -100,6 +110,8 @@ class SamplingProfiler:
     # -- engine selection ----------------------------------------------------
 
     def _resolve_mode(self) -> str:
+        if self.target_thread_id is not None:
+            return "thread"
         if self.requested_mode != "auto":
             return self.requested_mode
         can_itimer = (
@@ -145,9 +157,14 @@ class SamplingProfiler:
             )
         else:
             self._stop_event.clear()
+            target = (
+                self.target_thread_id
+                if self.target_thread_id is not None
+                else threading.get_ident()
+            )
             self._thread = threading.Thread(
                 target=self._thread_loop,
-                args=(threading.get_ident(),),
+                args=(target,),
                 name="repro-profiler",
                 daemon=True,
             )

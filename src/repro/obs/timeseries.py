@@ -1,0 +1,262 @@
+"""Ring-buffer time-series store and burn-rate SLO tracking.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` answers "how many since
+boot" and "what is the latency distribution since boot" — cumulative
+questions.  A live daemon also needs *windowed* questions: what is the
+request rate over the last minute, how many errors in the last ten, is the
+error budget burning fast enough to page?  :class:`TimeSeriesStore` answers
+those with a fixed-memory ring of time buckets per series — O(window /
+resolution) floats, no allocation on the hot path, arbitrary process
+lifetime — and :class:`SLOTracker` derives multi-window **burn rates** from
+it (the Google SRE-workbook alerting style: the ratio of the observed
+error rate to the rate that would exactly exhaust the error budget).
+
+Both take an injectable ``clock`` so tests drive time explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Default ring coverage: 10 minutes at 5-second resolution (120 buckets).
+DEFAULT_WINDOW_S = 600.0
+DEFAULT_RESOLUTION_S = 5.0
+
+
+class _Series:
+    """One named series: parallel rings of (count, total, max) per bucket.
+
+    ``_epochs[i]`` records which absolute bucket index last wrote slot
+    ``i``; a slot whose epoch is stale is logically empty (zeroed lazily on
+    the next write, skipped on reads), so advancing time never needs an
+    explicit sweep.
+    """
+
+    __slots__ = ("counts", "totals", "maxes", "_epochs", "_slots")
+
+    def __init__(self, slots: int) -> None:
+        self._slots = slots
+        self.counts = [0.0] * slots
+        self.totals = [0.0] * slots
+        self.maxes = [0.0] * slots
+        self._epochs = [-1] * slots
+
+    def record(self, bucket: int, value: float) -> None:
+        i = bucket % self._slots
+        if self._epochs[i] != bucket:
+            self._epochs[i] = bucket
+            self.counts[i] = 0.0
+            self.totals[i] = 0.0
+            self.maxes[i] = 0.0
+        self.counts[i] += 1.0
+        self.totals[i] += value
+        if self.counts[i] == 1.0 or value > self.maxes[i]:
+            self.maxes[i] = value
+
+    def window(self, newest_bucket: int, buckets: int) -> tuple[float, float, float]:
+        """``(count, total, max)`` over the ``buckets`` most recent buckets
+        ending at ``newest_bucket`` inclusive."""
+        count = total = 0.0
+        peak = 0.0
+        for b in range(newest_bucket - buckets + 1, newest_bucket + 1):
+            i = b % self._slots
+            if self._epochs[i] != b:
+                continue
+            count += self.counts[i]
+            total += self.totals[i]
+            if self.maxes[i] > peak:
+                peak = self.maxes[i]
+        return count, total, peak
+
+
+class TimeSeriesStore:
+    """Named time series over a fixed ring of time buckets.
+
+    ``record(name, value)`` adds one observation to the current bucket;
+    queries aggregate over the trailing ``over_s`` seconds (clamped to the
+    ring's coverage).  Memory is O(series x window/resolution) and constant
+    over time.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        resolution_s: float = DEFAULT_RESOLUTION_S,
+        clock=time.monotonic,
+    ) -> None:
+        if resolution_s <= 0:
+            raise ValueError(f"resolution_s must be > 0, got {resolution_s}")
+        if window_s < resolution_s:
+            raise ValueError(
+                f"window_s ({window_s}) must be >= resolution_s "
+                f"({resolution_s})"
+            )
+        self.window_s = float(window_s)
+        self.resolution_s = float(resolution_s)
+        self._slots = max(1, int(round(window_s / resolution_s)))
+        self._clock = clock
+        self._series: dict[str, _Series] = {}
+
+    # -- writing -------------------------------------------------------------
+
+    def _bucket(self, t: float | None = None) -> int:
+        return int((self._clock() if t is None else t) / self.resolution_s)
+
+    def record(self, name: str, value: float = 1.0) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = _Series(self._slots)
+        series.record(self._bucket(), float(value))
+
+    # -- reading -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def _window(self, name: str, over_s: float) -> tuple[float, float, float]:
+        series = self._series.get(name)
+        if series is None:
+            return 0.0, 0.0, 0.0
+        over_s = min(max(over_s, self.resolution_s), self.window_s)
+        buckets = max(1, int(round(over_s / self.resolution_s)))
+        return series.window(self._bucket(), buckets)
+
+    def count(self, name: str, over_s: float | None = None) -> float:
+        """Observations of ``name`` in the trailing window (default: the
+        whole ring)."""
+        return self._window(name, over_s or self.window_s)[0]
+
+    def total(self, name: str, over_s: float | None = None) -> float:
+        return self._window(name, over_s or self.window_s)[1]
+
+    def max(self, name: str, over_s: float | None = None) -> float:
+        return self._window(name, over_s or self.window_s)[2]
+
+    def mean(self, name: str, over_s: float | None = None) -> float | None:
+        count, total, _ = self._window(name, over_s or self.window_s)
+        return total / count if count else None
+
+    def rate(self, name: str, over_s: float | None = None) -> float:
+        """Observations per second over the trailing window."""
+        over_s = min(max(over_s or self.window_s, self.resolution_s),
+                     self.window_s)
+        return self._window(name, over_s)[0] / over_s
+
+    def snapshot(self, over_s: float | None = None) -> dict[str, dict]:
+        """Every series' windowed aggregates as a JSON-able dict."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            count, total, peak = self._window(name, over_s or self.window_s)
+            out[name] = {
+                "count": count,
+                "total": total,
+                "max": peak,
+                "mean": total / count if count else None,
+                "rate": self.rate(name, over_s),
+            }
+        return out
+
+
+#: Multi-window burn-rate alert thresholds, per the SRE-workbook pages:
+#: a fast burn of 14.4x consumes 2% of a 30-day budget in an hour; a slow
+#: burn of 6x consumes 5% in six hours.
+FAST_BURN_ALERT = 14.4
+SLOW_BURN_ALERT = 6.0
+
+
+class SLOTracker:
+    """Error-budget burn-rate tracking over two trailing windows.
+
+    ``objective`` is the availability target (0.99 = 99% of requests good).
+    ``record(ok, duration_s)`` classifies one request: it is *bad* when it
+    errored, or — if ``latency_slo_s`` is set — when it was slower than the
+    latency objective.  ``burn_rate(window)`` is::
+
+        (bad / total over the window) / (1 - objective)
+
+    so 1.0 means the budget is being spent exactly at the sustainable pace,
+    and e.g. 14.4 means a 30-day budget would be gone in two days.
+    ``snapshot()`` reports both windows plus the standard page/ticket alert
+    decisions (fast AND slow burning, per the multiwindow rule that filters
+    out short blips).
+    """
+
+    def __init__(
+        self,
+        objective: float = 0.99,
+        latency_slo_s: float | None = None,
+        fast_window_s: float = 60.0,
+        slow_window_s: float = DEFAULT_WINDOW_S,
+        store: TimeSeriesStore | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        if fast_window_s > slow_window_s:
+            raise ValueError("fast_window_s must be <= slow_window_s")
+        self.objective = objective
+        self.latency_slo_s = latency_slo_s
+        self.fast_window_s = fast_window_s
+        self.slow_window_s = slow_window_s
+        self.store = store or TimeSeriesStore(
+            window_s=slow_window_s, clock=clock
+        )
+        self.total = 0
+        self.bad = 0
+
+    def record(self, ok: bool, duration_s: float | None = None) -> bool:
+        """Record one request; returns True when it consumed error budget."""
+        breached = (not ok) or (
+            self.latency_slo_s is not None
+            and duration_s is not None
+            and duration_s > self.latency_slo_s
+        )
+        self.total += 1
+        self.store.record("slo.total")
+        if breached:
+            self.bad += 1
+            self.store.record("slo.bad")
+        return breached
+
+    def burn_rate(self, over_s: float) -> float:
+        total = self.store.count("slo.total", over_s)
+        if not total:
+            return 0.0
+        bad = self.store.count("slo.bad", over_s)
+        return (bad / total) / (1.0 - self.objective)
+
+    @property
+    def lifetime_burn_rate(self) -> float:
+        """Burn rate over every request ever seen — purely count-based, so
+        it is deterministic for a deterministic workload (the windowed
+        rates depend on wall-clock bucketing) and safe to pin in a
+        :class:`~repro.obs.runreport.RunReport` invariant."""
+        if not self.total:
+            return 0.0
+        return (self.bad / self.total) / (1.0 - self.objective)
+
+    def snapshot(self) -> dict:
+        fast = self.burn_rate(self.fast_window_s)
+        slow = self.burn_rate(self.slow_window_s)
+        return {
+            "objective": self.objective,
+            "latency_slo_s": self.latency_slo_s,
+            "total": self.total,
+            "bad": self.bad,
+            "fast_burn_rate": fast,
+            "slow_burn_rate": slow,
+            "page": fast >= FAST_BURN_ALERT and slow >= FAST_BURN_ALERT / 2,
+            "ticket": fast >= SLOW_BURN_ALERT and slow >= SLOW_BURN_ALERT / 2,
+        }
+
+
+def burn_rate_gauges(tracker: SLOTracker, registry, prefix: str = "serve.slo.") -> None:
+    """Refresh ``registry`` gauges from ``tracker`` (called at scrape time,
+    so ``/metrics`` always shows current burn rates)."""
+    snap = tracker.snapshot()
+    registry.gauge(f"{prefix}objective").set(snap["objective"])
+    registry.gauge(f"{prefix}fast_burn_rate").set(snap["fast_burn_rate"])
+    registry.gauge(f"{prefix}slow_burn_rate").set(snap["slow_burn_rate"])
+    registry.counter(f"{prefix}bad").inc(
+        max(0, snap["bad"] - registry.counter(f"{prefix}bad").value)
+    )

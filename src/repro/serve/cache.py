@@ -142,6 +142,12 @@ class ScheduleCache:
     def __contains__(self, digest: str) -> bool:
         return digest in self._entries
 
+    @property
+    def hit_ratio(self) -> float | None:
+        """Lifetime hits / (hits + misses), or None before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
     def stats(self) -> dict:
         return {
             "size": len(self._entries),
@@ -149,4 +155,5 @@ class ScheduleCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio,
         }

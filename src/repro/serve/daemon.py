@@ -5,15 +5,21 @@ Two transports over one :class:`~repro.serve.service.ScheduleService`:
 - **unix socket** (``--socket PATH``): newline-delimited JSON.  Each line
   is either a scheduling request (:mod:`repro.serve.protocol`) or a
   control op — ``{"op": "ping"}``, ``{"op": "stats"}``,
-  ``{"op": "metrics"}`` — and receives exactly one response line.
+  ``{"op": "metrics"}``, ``{"op": "traces"|"slow"|"errors"}``,
+  ``{"op": "top"}`` — and receives exactly one response line.
   Multiple requests may be pipelined on one connection; responses come
   back in order.
 - **HTTP** (``--port N``): a deliberately minimal HTTP/1.1 subset —
   ``POST /v1/schedule`` (a request document, or ``{"requests": [...]}``
   for an explicit batch), ``GET /metrics`` (Prometheus text exposition of
-  the service registry), ``GET /healthz`` and ``GET /stats``.  No
-  keep-alive, no chunked bodies; enough for curl, load generators and
-  scrapers without pulling in a web framework.
+  the service registry), ``GET /healthz``, ``GET /stats``, and the live
+  introspection surface: ``GET /debug/traces`` / ``/debug/slow`` /
+  ``/debug/errors`` (tail-sampled request traces, ``?trace_id=``, ``?n=``,
+  ``&format=jsonl`` for replayable waterfall JSONL), ``GET /debug/top``
+  (one self-contained stats+metrics document for ``repro top``), and
+  ``GET /debug/profile?seconds=S`` (on-demand flamegraph of the batch
+  executor thread).  No keep-alive, no chunked bodies; enough for curl,
+  load generators and scrapers without pulling in a web framework.
 
 Batching: every schedule request lands in one queue; a collector task
 drains it into batches of up to ``batch_max`` requests, waiting at most
@@ -27,13 +33,21 @@ threading the daemon.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
 
 from ..obs.expo import prometheus_text
+from ..obs.profiler import (
+    SamplingProfiler,
+    collapsed_stacks,
+    flamegraph_html,
+)
 from .protocol import error_response
 from .service import ScheduleService
 
@@ -57,6 +71,7 @@ class ScheduleServer:
         port: int | None = None,
         batch_max: int = DEFAULT_BATCH_MAX,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        access_log: str | os.PathLike | None = None,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("need a unix socket path and/or a TCP port")
@@ -68,17 +83,30 @@ class ScheduleServer:
         self.port = port
         self.batch_max = batch_max
         self.batch_window_s = batch_window_s
+        self.access_log_path = (
+            Path(access_log) if access_log is not None else None
+        )
+        self._access_log = None
         self._queue: asyncio.Queue | None = None
         self._servers: list[asyncio.base_events.Server] = []
         self._batcher: asyncio.Task | None = None
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-batch"
         )
+        self._executor_thread_id: int | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
         self._queue = asyncio.Queue()
+        if self.access_log_path is not None:
+            self.access_log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._access_log = self.access_log_path.open("a", encoding="utf-8")
+        # Capture the batch executor's thread id so /debug/profile can
+        # sample the thread that actually runs request handling.
+        self._executor_thread_id = await asyncio.get_running_loop().run_in_executor(
+            self._executor, threading.get_ident
+        )
         self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
         if self.socket_path is not None:
             self.socket_path.parent.mkdir(parents=True, exist_ok=True)
@@ -110,6 +138,9 @@ class ScheduleServer:
                 pass
             self._batcher = None
         self._executor.shutdown(wait=True)
+        if self._access_log is not None:
+            self._access_log.close()
+            self._access_log = None
         if self.socket_path is not None and self.socket_path.exists():
             self.socket_path.unlink()
 
@@ -132,10 +163,10 @@ class ScheduleServer:
 
     # -- batching ------------------------------------------------------------
 
-    async def _submit(self, doc: dict) -> dict:
+    async def _submit(self, doc: dict, transport: str = "unknown") -> dict:
         """Enqueue one request document; resolves to its response."""
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put((doc, future))
+        await self._queue.put((doc, transport, time.monotonic(), future))
         return await future
 
     async def _batch_loop(self) -> None:
@@ -154,10 +185,14 @@ class ScheduleServer:
                     )
                 except asyncio.TimeoutError:
                     break
-            docs = [doc for doc, _ in batch]
+            docs = [doc for doc, _, _, _ in batch]
+            transports = [transport for _, transport, _, _ in batch]
             try:
                 responses = await loop.run_in_executor(
-                    self._executor, self.service.handle_batch, docs
+                    self._executor,
+                    functools.partial(
+                        self.service.handle_batch, docs, transports=transports
+                    ),
                 )
             except Exception as exc:  # defensive: the service shouldn't raise
                 responses = [
@@ -167,9 +202,46 @@ class ScheduleServer:
                     )
                     for doc in docs
                 ]
-            for (_, future), response in zip(batch, responses):
+            now = time.monotonic()
+            for (doc, transport, enqueued, future), response in zip(
+                batch, responses
+            ):
                 if not future.done():
                     future.set_result(response)
+                self._log_access(doc, transport, response, now - enqueued)
+
+    def _log_access(
+        self, doc, transport: str, response: dict, duration_s: float
+    ) -> None:
+        """One structured access-log line per answered request (no-op
+        without ``--access-log``)."""
+        if self._access_log is None:
+            return
+        trace = response.get("trace") if isinstance(response, dict) else None
+        digest = response.get("digest") if isinstance(response, dict) else None
+        line = {
+            "ts": time.time(),
+            "transport": transport,
+            "trace_id": (trace or {}).get("trace_id"),
+            "id": response.get("id") if isinstance(response, dict) else None,
+            "scheduler": (
+                doc.get("scheduler", "anticipatory")
+                if isinstance(doc, dict)
+                else None
+            ),
+            "digest": digest[:12] if isinstance(digest, str) else None,
+            "cached": (
+                response.get("cached") if isinstance(response, dict) else None
+            ),
+            "status": (
+                "ok"
+                if isinstance(response, dict) and response.get("ok")
+                else "error"
+            ),
+            "duration_ms": round(duration_s * 1e3, 3),
+        }
+        self._access_log.write(json.dumps(line, sort_keys=True) + "\n")
+        self._access_log.flush()
 
     # -- unix-socket transport ------------------------------------------------
 
@@ -182,12 +254,58 @@ class ScheduleServer:
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": self.service.stats()}
         if op == "metrics":
+            self.service.refresh_gauges()
             return {
                 "ok": True,
                 "op": "metrics",
                 "text": prometheus_text(self.service.registry),
             }
+        if op in ("traces", "slow", "errors"):
+            return {
+                "ok": True,
+                "op": op,
+                **self._traces_doc(
+                    ring=op if op != "traces" else "recent",
+                    n=doc.get("n"),
+                    trace_id=doc.get("trace_id"),
+                ),
+            }
+        if op == "top":
+            return {"ok": True, "op": "top", **self._top_doc()}
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- debug documents (shared by both transports) --------------------------
+
+    def _traces_doc(
+        self,
+        ring: str = "recent",
+        n: object = None,
+        trace_id: str | None = None,
+    ) -> dict:
+        buf = self.service.tracebuf
+        select = {"recent": buf.recent, "slow": buf.slow, "errors": buf.errors}[
+            ring
+        ]
+        limit = None
+        if n is not None:
+            try:
+                limit = int(n)
+            except (TypeError, ValueError):
+                limit = None
+        traces = select(n=limit, trace_id=trace_id or None)
+        return {
+            "ring": ring,
+            "count": len(traces),
+            "buffer": buf.stats(),
+            "traces": [t.to_dict() for t in traces],
+        }
+
+    def _top_doc(self) -> dict:
+        self.service.refresh_gauges()
+        return {
+            "stats": self.service.stats(),
+            "metrics": self.service.registry.to_dict(),
+        }
 
     async def _serve_unix(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -215,7 +333,9 @@ class ScheduleServer:
                 if isinstance(doc, dict) and (control := self._control(doc)):
                     await self._write_line(writer, control)
                     continue
-                await self._write_line(writer, await self._submit(doc))
+                await self._write_line(
+                    writer, await self._submit(doc, transport="unix")
+                )
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -261,7 +381,13 @@ class ScheduleServer:
         parts = request_line.split()
         if len(parts) < 2:
             return "400 Bad Request", "text/plain", b"bad request line\n"
-        method, path = parts[0].upper(), parts[1]
+        method, target = parts[0].upper(), parts[1]
+        url = urlsplit(target)
+        path = url.path
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(url.query, keep_blank_values=True).items()
+        }
         content_length = 0
         while True:
             header = (await reader.readline()).decode("latin-1").strip()
@@ -276,13 +402,49 @@ class ScheduleServer:
         if method == "GET" and path == "/healthz":
             return "200 OK", "text/plain", b"ok\n"
         if method == "GET" and path == "/metrics":
+            self.service.refresh_gauges()
             text = prometheus_text(self.service.registry)
             return "200 OK", "text/plain; version=0.0.4", text.encode()
         if method == "GET" and path == "/stats":
             body = json.dumps(self.service.stats(), sort_keys=True) + "\n"
             return "200 OK", "application/json", body.encode()
+        if method == "GET" and path in ("/debug/traces", "/debug/slow", "/debug/errors"):
+            ring = {"/debug/traces": "recent", "/debug/slow": "slow",
+                    "/debug/errors": "errors"}[path]
+            doc = self._traces_doc(
+                ring=ring,
+                n=query.get("n"),
+                trace_id=query.get("trace_id"),
+            )
+            if query.get("format") == "jsonl":
+                # The selected traces as waterfall JSONL — the same schema
+                # `repro trace` replays and Perfetto export consumes.
+                from .tracebuf import RequestTrace
+
+                lines = []
+                for t in doc["traces"]:
+                    for record in RequestTrace.from_dict(t).waterfall_records():
+                        lines.append(json.dumps(record, sort_keys=True))
+                return (
+                    "200 OK",
+                    "application/jsonl",
+                    ("\n".join(lines) + "\n").encode() if lines else b"",
+                )
+            body = json.dumps(doc, sort_keys=True) + "\n"
+            return "200 OK", "application/json", body.encode()
+        if method == "GET" and path == "/debug/top":
+            body = json.dumps(self._top_doc(), sort_keys=True) + "\n"
+            return "200 OK", "application/json", body.encode()
+        if method == "GET" and path == "/debug/profile":
+            return await self._profile_response(query)
         if method == "POST" and path == "/v1/schedule":
-            if content_length <= 0 or content_length > _MAX_LINE:
+            if content_length > _MAX_LINE:
+                return (
+                    "413 Payload Too Large",
+                    "text/plain",
+                    f"body exceeds {_MAX_LINE} bytes\n".encode(),
+                )
+            if content_length <= 0:
                 return "400 Bad Request", "text/plain", b"need a JSON body\n"
             raw = await reader.readexactly(content_length)
             try:
@@ -292,13 +454,54 @@ class ScheduleServer:
                 return "400 Bad Request", "application/json", body.encode()
             if isinstance(doc, dict) and isinstance(doc.get("requests"), list):
                 responses = await asyncio.gather(
-                    *(self._submit(d) for d in doc["requests"])
+                    *(self._submit(d, transport="http") for d in doc["requests"])
                 )
                 body = json.dumps({"responses": responses}, sort_keys=True) + "\n"
             else:
-                body = json.dumps(await self._submit(doc), sort_keys=True) + "\n"
+                body = (
+                    json.dumps(
+                        await self._submit(doc, transport="http"), sort_keys=True
+                    )
+                    + "\n"
+                )
             return "200 OK", "application/json", body.encode()
         return "404 Not Found", "text/plain", b"not found\n"
+
+    async def _profile_response(self, query: dict) -> tuple[str, str, bytes]:
+        """``GET /debug/profile``: sample the batch-executor thread for
+        ``seconds`` and answer a flamegraph (``format=html``, default) or
+        collapsed stacks (``format=collapsed``)."""
+        try:
+            seconds = min(max(float(query.get("seconds", 1.0)), 0.05), 30.0)
+            interval_ms = min(
+                max(float(query.get("interval_ms", 5.0)), 0.5), 100.0
+            )
+        except ValueError:
+            return "400 Bad Request", "text/plain", b"bad profile parameters\n"
+        fmt = query.get("format", "html")
+        if fmt not in ("html", "collapsed"):
+            return "400 Bad Request", "text/plain", b"format: html|collapsed\n"
+        prof = SamplingProfiler(
+            interval_s=interval_ms / 1e3,
+            mode="thread",
+            target_thread_id=self._executor_thread_id,
+        )
+        try:
+            prof.start()
+        except RuntimeError as exc:  # another profiler already active
+            return "409 Conflict", "text/plain", f"{exc}\n".encode()
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            prof.stop()
+        if fmt == "collapsed":
+            return "200 OK", "text/plain", collapsed_stacks(prof.samples).encode()
+        html = flamegraph_html(
+            prof.samples,
+            title=f"repro serve pid {os.getpid()} — {seconds:g}s @ "
+            f"{interval_ms:g}ms",
+        )
+        return "200 OK", "text/html", html.encode()
 
 
 class ServerHandle:

@@ -19,6 +19,7 @@ answer a structured error instead of dying.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -33,9 +34,50 @@ PROTOCOL_VERSION = 1
 #: Scheduler names accepted on the wire (mirrors ``repro schedule``).
 SCHEDULER_NAMES = ("anticipatory", "local", "critical-path", "source")
 
+#: Legal trace ids on the wire: they end up in file names, log lines and
+#: Prometheus labels, so the alphabet is deliberately narrow.
+TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
 
 class ProtocolError(ValueError):
     """Raised when a wire document cannot be decoded into a request."""
+
+
+def validate_trace_id(trace_id: object) -> str:
+    """``trace_id`` as a string, or :class:`ProtocolError` if it is not
+    1–64 chars of ``[A-Za-z0-9_-]``."""
+    if not isinstance(trace_id, str) or not TRACE_ID_RE.match(trace_id):
+        raise ProtocolError(
+            f"bad trace_id {trace_id!r}: need 1-64 chars of [A-Za-z0-9_-]"
+        )
+    return trace_id
+
+
+def trace_from_wire(value: object) -> tuple[str, str | None] | None:
+    """Decode a request's ``trace`` field into ``(trace_id,
+    parent_span_id)``.
+
+    Accepted shapes: a bare string (just the trace id) or an object
+    ``{"trace_id": ..., "parent_span_id": ...}`` — the dict form of
+    :class:`repro.obs.pipeline.TraceContext`.  ``None``/absent means the
+    daemon mints an id.  Anything else is a :class:`ProtocolError`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return validate_trace_id(value), None
+    if isinstance(value, Mapping):
+        trace_id = validate_trace_id(value.get("trace_id"))
+        parent = value.get("parent_span_id")
+        if parent is not None and not isinstance(parent, str):
+            raise ProtocolError(
+                f"bad parent_span_id {parent!r}: need a string or null"
+            )
+        return trace_id, parent
+    raise ProtocolError(
+        f"bad trace field: need a string or an object, got "
+        f"{type(value).__name__}"
+    )
 
 
 # -- machine ------------------------------------------------------------------
@@ -167,6 +209,12 @@ class ScheduleRequest:
     scheduler: str = "anticipatory"
     #: Opaque client correlation id, echoed on the response.
     id: object = None
+    #: Distributed-trace id this request belongs to (client-stamped or
+    #: daemon-minted; always set after decode by the service).
+    trace_id: str | None = None
+    #: Client-side parent span this request hangs under, if the caller is
+    #: itself traced.
+    parent_span_id: str | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -177,6 +225,11 @@ class ScheduleRequest:
         }
         if self.id is not None:
             out["id"] = self.id
+        if self.trace_id is not None:
+            trace: dict = {"trace_id": self.trace_id}
+            if self.parent_span_id is not None:
+                trace["parent_span_id"] = self.parent_span_id
+            out["trace"] = trace
         return out
 
     @classmethod
@@ -206,11 +259,15 @@ class ScheduleRequest:
                 "machine cannot execute program: some fu class has no "
                 "usable unit"
             )
+        wire_trace = trace_from_wire(doc.get("trace"))
+        trace_id, parent_span_id = wire_trace if wire_trace else (None, None)
         return cls(
             trace=trace,
             machine=machine,
             scheduler=scheduler,
             id=doc.get("id"),
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
         )
 
 
@@ -219,8 +276,16 @@ def ok_response(
     digest: str,
     cached: bool,
     result: Mapping,
+    trace_id: str | None = None,
+    server: Mapping | None = None,
 ) -> dict:
-    """A success response: the schedule result plus cache provenance."""
+    """A success response: the schedule result plus cache provenance.
+
+    ``trace_id`` echoes the request's distributed-trace id; ``server`` is
+    the daemon's phase-timing breakdown (``server.phases.<name>_s`` plus
+    pids), so a client can report where its latency went without a second
+    round trip.
+    """
     out = {
         "v": PROTOCOL_VERSION,
         "ok": True,
@@ -233,11 +298,30 @@ def ok_response(
     }
     if request_id is not None:
         out["id"] = request_id
+    if trace_id is not None:
+        out["trace"] = {"trace_id": trace_id}
+    if server is not None:
+        out["server"] = dict(server)
     return out
 
 
-def error_response(request_id: object, message: str) -> dict:
+def error_response(
+    request_id: object,
+    message: str,
+    trace_id: str | None = None,
+    server: Mapping | None = None,
+) -> dict:
     out = {"v": PROTOCOL_VERSION, "ok": False, "error": str(message)}
     if request_id is not None:
         out["id"] = request_id
+    if trace_id is not None:
+        out["trace"] = {"trace_id": trace_id}
+    if server is not None:
+        out["server"] = dict(server)
     return out
+
+
+def server_timings(response: Mapping) -> dict | None:
+    """The ``server`` phase-timing block of a response, or ``None``."""
+    server = response.get("server")
+    return dict(server) if isinstance(server, Mapping) else None

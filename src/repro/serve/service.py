@@ -41,16 +41,27 @@ from __future__ import annotations
 
 import os
 import time
+import uuid
+from pathlib import Path
 
 from ..core.schedule import schedule_digest
 from ..obs import recorder as obs
 from ..obs.metrics import MetricsRegistry
 from ..obs.pipeline import SPAN_DURATION_BUCKETS, TraceContext, spooled_cell
+from ..obs.recorder import SpanRecord
 from ..obs.runreport import RunReport, collect_provenance
+from ..obs.timeseries import SLOTracker, TimeSeriesStore, burn_rate_gauges
 from ..robust.pool import ExecutionPool, PoolConfig
 from .cache import ScheduleCache
 from .canonical import CanonicalForm, canonical_form
-from .protocol import ProtocolError, ScheduleRequest, error_response, ok_response
+from .protocol import (
+    ProtocolError,
+    ScheduleRequest,
+    error_response,
+    ok_response,
+    trace_from_wire,
+)
+from .tracebuf import RequestTrace, TraceBuffer
 from .worker import compute_request
 
 
@@ -95,29 +106,52 @@ class ScheduleService:
         timeout_s: float | None = None,
         retries: int = 1,
         registry: MetricsRegistry | None = None,
+        tracebuf: TraceBuffer | None = None,
+        slo_objective: float = 0.99,
+        latency_slo_s: float | None = None,
     ) -> None:
         self.registry = registry or MetricsRegistry()
         self.cache = ScheduleCache(
             capacity=cache_size, path=cache_path, registry=self.registry
         )
+        # The pool spools worker telemetry into its own subdirectory: each
+        # batch's run() clears its telemetry dir first, which must never
+        # delete the daemon's own per-batch spool files one level up.
+        pool_spool = Path(spool_dir) / "pool" if spool_dir is not None else None
         self.pool = ExecutionPool(
             compute_request,
             PoolConfig(jobs=jobs, timeout_s=timeout_s, retries=retries),
+            telemetry_dir=pool_spool,
         )
         self.spool_dir = spool_dir
         self.context = TraceContext.new()
+        self.tracebuf = tracebuf or TraceBuffer()
+        self.timeseries = TimeSeriesStore()
+        self.slo = SLOTracker(
+            objective=slo_objective,
+            latency_slo_s=latency_slo_s,
+            store=self.timeseries,
+        )
         self.requests = 0
         self.errors = 0
         self.batches = 0
+        #: Lifetime request counts per transport ("unix" / "http" / ...).
+        self.transports: dict[str, int] = {}
+        self.started_monotonic = time.monotonic()
 
     # -- public entry points -------------------------------------------------
 
-    def handle(self, doc: dict) -> dict:
+    def handle(self, doc: dict, transport: str = "unknown") -> dict:
         """One request through the full batch path."""
-        return self.handle_batch([doc])[0]
+        return self.handle_batch([doc], transports=[transport])[0]
 
-    def handle_batch(self, docs: list) -> list[dict]:
+    def handle_batch(
+        self, docs: list, transports: list[str] | None = None
+    ) -> list[dict]:
         """Answer a batch of wire documents, responses in input order.
+
+        ``transports`` (parallel to ``docs``) tags each request with the
+        transport it arrived on for per-transport stats and access logs.
 
         Runs synchronously in the calling thread; the daemon serializes
         batches through a single executor thread because the obs recorder
@@ -132,51 +166,89 @@ class ScheduleService:
                 sim_events=False,
             )
             with cell:
-                return self._handle_batch(docs)
-        return self._handle_batch(docs)
+                return self._handle_batch(docs, transports)
+        return self._handle_batch(docs, transports)
 
     # -- internals -----------------------------------------------------------
 
-    def _handle_batch(self, docs: list) -> list[dict]:
+    def _handle_batch(
+        self, docs: list, transports: list[str] | None = None
+    ) -> list[dict]:
         t_batch = time.perf_counter()
         responses: list[dict | None] = [None] * len(docs)
         slots: list[dict] = []  # decoded, not yet answered
-        with obs.span("serve.batch", size=len(docs)):
+        with obs.span("serve.batch", size=len(docs), batch=self.batches) as sp:
             # 1/2: decode + canonicalize
             for i, doc in enumerate(docs):
                 self.requests += 1
+                transport = (
+                    transports[i]
+                    if transports is not None and i < len(transports)
+                    else "unknown"
+                )
+                self.transports[transport] = self.transports.get(transport, 0) + 1
                 self.registry.counter("serve.requests").inc()
-                started = time.perf_counter()
+                self.registry.counter(f"serve.requests.{transport}").inc()
+                t0 = time.perf_counter_ns()
                 try:
                     request = ScheduleRequest.from_dict(doc)
                 except ProtocolError as exc:
-                    responses[i] = self._error(doc, str(exc))
+                    responses[i] = self._error(
+                        doc,
+                        str(exc),
+                        transport=transport,
+                        started_ns=t0,
+                        phases=[("decode", t0, time.perf_counter_ns() - t0)],
+                    )
                     continue
+                t1 = time.perf_counter_ns()
+                if request.trace_id is None:
+                    # The daemon mints an id for untraced requests so every
+                    # retained trace is addressable via /debug/traces.
+                    request.trace_id = uuid.uuid4().hex[:16]
                 form = canonical_form(
                     request.trace, request.machine, request.scheduler
                 )
+                t2 = time.perf_counter_ns()
                 slots.append(
                     {
                         "index": i,
                         "request": request,
                         "form": form,
-                        "started": started,
+                        "started_ns": t0,
+                        "transport": transport,
+                        "phases": [
+                            ("decode", t0, t1 - t0),
+                            ("canonicalize", t1, t2 - t1),
+                        ],
                     }
                 )
+            if sp is not None:
+                # The batch span links its member requests' trace ids.
+                sp.attrs["trace_ids"] = [
+                    s["request"].trace_id for s in slots
+                ]
 
             # 3: cache lookup with within-batch dedupe
             pending: dict[str, list[dict]] = {}
             for slot in slots:
                 form = slot["form"]
+                t_probe = time.perf_counter_ns()
                 waiting = pending.get(form.digest)
                 if waiting is not None:
                     # Another request in this batch is already computing
                     # this digest: served without a scheduler run == a hit.
                     self.cache.note_hit()
                     slot["cached"] = True
+                    slot["phases"].append(
+                        ("cache_probe", t_probe, time.perf_counter_ns() - t_probe)
+                    )
                     waiting.append(slot)
                     continue
                 entry = self.cache.get(form.digest)
+                slot["phases"].append(
+                    ("cache_probe", t_probe, time.perf_counter_ns() - t_probe)
+                )
                 if entry is not None:
                     responses[slot["index"]] = self._ok(
                         slot, result_from_entry(form, entry), cached=True
@@ -188,11 +260,17 @@ class ScheduleService:
             # 4: compute misses through the robust pool
             if pending:
                 order = list(pending.values())
+                t_dispatch = time.perf_counter_ns()
                 with obs.span("serve.compute", misses=len(order)):
                     outcome = self.pool.run(
                         [group[0]["request"].to_dict() for group in order]
                     )
+                dispatch_ns = time.perf_counter_ns() - t_dispatch
                 for group, result in zip(order, outcome.results):
+                    for slot in group:
+                        slot["phases"].append(
+                            ("dispatch", t_dispatch, dispatch_ns)
+                        )
                     first = group[0]
                     if not isinstance(result, dict):  # a SweepFailure
                         for slot in group:
@@ -200,6 +278,7 @@ class ScheduleService:
                                 slot["request"],
                                 f"scheduling failed: {result}",
                                 decoded=True,
+                                slot=slot,
                             )
                         continue
                     self.cache.put(
@@ -225,9 +304,153 @@ class ScheduleService:
         ).observe(time.perf_counter() - t_batch)
         return [r for r in responses]  # all filled by construction
 
+    def _span_tree(
+        self,
+        slot: dict,
+        end_ns: int,
+        trace_id: str,
+        worker: dict | None,
+        status: str,
+        cached: bool,
+    ) -> list[SpanRecord]:
+        """The request's span tree: ``serve.request`` root, daemon phases
+        at depth 1 (including the trailing ``respond`` phase up to
+        ``end_ns``), worker phases at depth 2 — every span stamped with the
+        request's trace id."""
+        pid = os.getpid()
+        started_ns = slot["started_ns"]
+        phases = list(slot["phases"])
+        last_end = max(t + d for _, t, d in phases) if phases else started_ns
+        phases.append(("respond", last_end, max(end_ns - last_end, 0)))
+        spans = [
+            SpanRecord(
+                name="serve.request",
+                start_ns=started_ns,
+                duration_ns=end_ns - started_ns,
+                depth=0,
+                attrs={
+                    "scheduler": getattr(
+                        slot.get("request"), "scheduler", None
+                    ),
+                    "cached": cached,
+                    "status": status,
+                    "transport": slot.get("transport", "unknown"),
+                    "batch": self.batches,
+                },
+                pid=pid,
+                trace_id=trace_id,
+            )
+        ]
+        for name, start, dur in phases:
+            spans.append(
+                SpanRecord(
+                    name=f"serve.phase.{name}",
+                    start_ns=start,
+                    duration_ns=dur,
+                    depth=1,
+                    attrs={},
+                    pid=pid,
+                    trace_id=trace_id,
+                )
+            )
+        if worker is not None:
+            # Fork children share the parent's perf_counter base, so the
+            # worker's own timestamps nest correctly under dispatch.
+            w_start = int(worker.get("start_ns", started_ns))
+            offset = w_start
+            for phase, dur in worker.get("phases", {}).items():
+                spans.append(
+                    SpanRecord(
+                        name=f"serve.worker.{phase.removesuffix('_ns')}",
+                        start_ns=offset,
+                        duration_ns=int(dur),
+                        depth=2,
+                        attrs={},
+                        pid=worker.get("pid"),
+                        trace_id=trace_id,
+                    )
+                )
+                offset += int(dur)
+        return spans
+
+    def _server_block(
+        self, slot: dict, end_ns: int, worker: dict | None
+    ) -> dict:
+        """The response's ``server`` phase-timing echo."""
+        phases = {
+            f"{name}_s": dur / 1e9 for name, _, dur in slot["phases"]
+        }
+        last_end = max(
+            (t + d for _, t, d in slot["phases"]), default=slot["started_ns"]
+        )
+        phases["respond_s"] = max(end_ns - last_end, 0) / 1e9
+        server = {
+            "pid": os.getpid(),
+            "duration_s": (end_ns - slot["started_ns"]) / 1e9,
+            "phases": phases,
+        }
+        if worker is not None:
+            server["worker"] = {
+                "pid": worker.get("pid"),
+                "phases": {
+                    f"{name.removesuffix('_ns')}_s": dur / 1e9
+                    for name, dur in worker.get("phases", {}).items()
+                },
+            }
+        return server
+
+    def _finish(
+        self,
+        slot: dict,
+        status: str,
+        cached: bool,
+        worker: dict | None,
+        error: str | None = None,
+    ) -> tuple[str, dict, float]:
+        """Shared request epilogue: retain the trace, feed the SLO tracker
+        and the time-series store; returns ``(trace_id, server_block,
+        elapsed_s)``."""
+        end_ns = time.perf_counter_ns()
+        request = slot.get("request")
+        trace_id = (
+            getattr(request, "trace_id", None) or slot.get("trace_id")
+            or uuid.uuid4().hex[:16]
+        )
+        elapsed = (end_ns - slot["started_ns"]) / 1e9
+        server = self._server_block(slot, end_ns, worker)
+        self.tracebuf.add(
+            RequestTrace(
+                trace_id=trace_id,
+                request_id=getattr(request, "id", None) or slot.get("id"),
+                scheduler=getattr(request, "scheduler", "") or "",
+                digest=(
+                    slot["form"].digest if slot.get("form") is not None else None
+                ),
+                cached=cached,
+                status=status,
+                error=error,
+                start_ns=slot["started_ns"],
+                duration_ns=end_ns - slot["started_ns"],
+                batch=self.batches,
+                transport=slot.get("transport", "unknown"),
+                worker_pid=worker.get("pid") if worker else None,
+                spans=self._span_tree(
+                    slot, end_ns, trace_id, worker, status, cached
+                ),
+            )
+        )
+        self.slo.record(status == "ok", elapsed)
+        self.timeseries.record("serve.request.duration_s", elapsed)
+        if cached:
+            self.timeseries.record("serve.cache.hit")
+        return trace_id, server, elapsed
+
     def _ok(self, slot: dict, result: dict, cached: bool) -> dict:
         request: ScheduleRequest = slot["request"]
-        elapsed = time.perf_counter() - slot["started"]
+        worker = result.get("worker")
+        trace_id, server, elapsed = self._finish(
+            slot, status="ok", cached=cached, worker=worker
+        )
         self.registry.counter(f"serve.requests.{request.scheduler}").inc()
         self.registry.histogram(
             f"serve.request.{request.scheduler}.duration_s",
@@ -238,11 +461,28 @@ class ScheduleService:
             scheduler=request.scheduler,
             digest=slot["form"].digest[:16],
             cached=cached,
+            trace_id=trace_id,
         ):
             pass
-        return ok_response(request.id, slot["form"].digest, cached, result)
+        return ok_response(
+            request.id,
+            slot["form"].digest,
+            cached,
+            result,
+            trace_id=trace_id,
+            server=server,
+        )
 
-    def _error(self, doc_or_request, message: str, decoded: bool = False) -> dict:
+    def _error(
+        self,
+        doc_or_request,
+        message: str,
+        decoded: bool = False,
+        slot: dict | None = None,
+        transport: str = "unknown",
+        started_ns: int | None = None,
+        phases: list | None = None,
+    ) -> dict:
         self.errors += 1
         self.registry.counter("serve.errors").inc()
         obs.count("serve.error")
@@ -252,16 +492,62 @@ class ScheduleService:
             request_id = (
                 doc_or_request.get("id") if isinstance(doc_or_request, dict) else None
             )
-        return error_response(request_id, message)
+        if slot is None:
+            # Decode-stage failure: build a minimal slot, recovering the
+            # caller's trace id from the raw document when it is valid.
+            trace_id = None
+            if isinstance(doc_or_request, dict):
+                try:
+                    wire = trace_from_wire(doc_or_request.get("trace"))
+                    trace_id = wire[0] if wire else None
+                except ProtocolError:
+                    pass
+            slot = {
+                "started_ns": (
+                    started_ns
+                    if started_ns is not None
+                    else time.perf_counter_ns()
+                ),
+                "phases": phases or [],
+                "transport": transport,
+                "trace_id": trace_id,
+                "id": request_id,
+            }
+        trace_id, server, _ = self._finish(
+            slot, status="error", cached=False, worker=None, error=message
+        )
+        return error_response(
+            request_id, message, trace_id=trace_id, server=server
+        )
 
     # -- introspection -------------------------------------------------------
 
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def refresh_gauges(self) -> None:
+        """Push derived values (cache hit ratio, uptime, SLO burn rates)
+        into the registry — called at scrape time so ``/metrics`` is always
+        current without a background ticker."""
+        ratio = self.cache.hit_ratio
+        if ratio is not None:
+            self.registry.gauge("serve.cache.hit_ratio").set(ratio)
+        self.registry.gauge("serve.uptime_s").set(self.uptime_s)
+        burn_rate_gauges(self.slo, self.registry)
+
     def stats(self) -> dict:
+        self.refresh_gauges()
         return {
             "requests": self.requests,
             "errors": self.errors,
             "batches": self.batches,
+            "uptime_s": self.uptime_s,
             "cache": self.cache.stats(),
+            "cache_hit_ratio": self.cache.hit_ratio,
+            "transports": dict(sorted(self.transports.items())),
+            "traces": self.tracebuf.stats(),
+            "slo": self.slo.snapshot(),
             "pool": {
                 "jobs": self.pool.config.jobs,
                 "batches": self.pool.batches,
@@ -273,10 +559,11 @@ class ScheduleService:
     def run_report(self, name: str = "serve") -> RunReport:
         """The service's lifetime metrics as a comparable RunReport.
 
-        Deterministic facts (request/error/cache counts) live under
-        invariant keys; latency histograms live under ``duration_s`` paths,
-        which ``repro compare`` thresholds instead of pinning — so the
-        report doubles as a latency-SLO gate.
+        Deterministic facts (request/error/cache counts, the lifetime SLO
+        burn rate) live under invariant keys; latency histograms and
+        windowed rates live under ``_s``-suffixed paths, which ``repro
+        compare`` thresholds instead of pinning — so the report doubles as
+        a latency-SLO gate.
         """
         return RunReport(
             name=name,
@@ -285,6 +572,14 @@ class ScheduleService:
                 "errors": self.errors,
                 "batches": self.batches,
                 "cache": self.cache.stats(),
+                "slo": {
+                    "objective": self.slo.objective,
+                    "bad": self.slo.bad,
+                    # Count-based, deterministic — safe to pin (the
+                    # windowed burn rates are wall-clock-bucketed and are
+                    # exposed via /stats and /metrics instead).
+                    "lifetime_burn_rate": self.slo.lifetime_burn_rate,
+                },
                 "latency": {
                     key: self.registry[key].to_value()
                     for key in self.registry.names()

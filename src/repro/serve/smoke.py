@@ -40,7 +40,7 @@ from ..machine.presets import PAPER_CORE, WIDE_VLIW, paper_machine
 from ..ir.instruction import FIXED, FLOAT, MEMORY
 from ..obs.runreport import RunReport, collect_provenance
 from ..workloads.traces import random_trace
-from .client import ScheduleClient, http_get
+from .client import ScheduleClient, http_get, http_schedule
 from .daemon import ScheduleServer, ServerHandle
 from .canonical import relabel_trace
 from .protocol import SCHEDULER_NAMES, ScheduleRequest, machine_to_dict, trace_to_dict
@@ -155,6 +155,103 @@ def check_phase(
     return identical
 
 
+def check_tracing(
+    server: ScheduleServer, seed: int, waterfall_path: str | None
+) -> dict:
+    """Tracing phase: one forced-slow request with a caller-supplied
+    trace id must round-trip the id, land in ``/debug/traces`` with a full
+    span tree, populate ``/debug/slow``, and export a replayable waterfall.
+    Returns the deterministic tally for the RunReport."""
+    trace_id = f"smoke{seed & 0xFFFFFFFF:08x}"
+    # A cache miss over a large trace: runs the scheduler, so it lands far
+    # above the rolling median of warm hits and must be tail-sampled.
+    slow_trace = random_trace(
+        num_blocks=4,
+        block_size=(10, 14),
+        cross_probability=0.2,
+        latencies=(0, 1, 2, 3),
+        seed=seed + 10_000,
+    )
+    request = ScheduleRequest(
+        trace=slow_trace,
+        machine=PAPER_CORE,
+        scheduler="anticipatory",
+        id="traced-slow",
+        trace_id=trace_id,
+    )
+    with ScheduleClient(server.socket_path) as client:
+        response = client.call(request.to_dict())
+    if not response.get("ok"):
+        raise SmokeFailure(f"traced request failed: {response.get('error')}")
+    echoed = (response.get("trace") or {}).get("trace_id")
+    if echoed != trace_id:
+        raise SmokeFailure(
+            f"trace_id did not round-trip: sent {trace_id!r}, got {echoed!r}"
+        )
+    server_block = response.get("server") or {}
+    if "phases" not in server_block or "dispatch_s" not in server_block["phases"]:
+        raise SmokeFailure(
+            f"response carries no server-side phase timings: {server_block!r}"
+        )
+
+    # The same kernel again, over HTTP: a cache hit tagged transport=http.
+    doc = dict(request.to_dict(), id="traced-http")
+    doc.pop("trace", None)
+    status, http_response = http_schedule(server.host, server.port, doc)
+    if status != 200 or not http_response.get("ok"):
+        raise SmokeFailure(f"HTTP re-request failed: {status}, {http_response}")
+    if not http_response.get("cached"):
+        raise SmokeFailure("HTTP re-request of the traced kernel missed")
+
+    status, body = http_get(
+        server.host, server.port, f"/debug/traces?trace_id={trace_id}"
+    )
+    if status != 200:
+        raise SmokeFailure(f"GET /debug/traces: status {status}")
+    retained = json.loads(body)["traces"]
+    if not retained:
+        raise SmokeFailure(f"/debug/traces retained nothing for {trace_id}")
+    spans = retained[-1]["spans"]
+    names = {s["name"] for s in spans}
+    if "serve.request" not in names or not any(
+        n.startswith("serve.worker.") for n in names
+    ):
+        raise SmokeFailure(
+            f"span tree incomplete for {trace_id}: {sorted(names)}"
+        )
+    wrong = [s for s in spans if s.get("trace_id") != trace_id]
+    if wrong:
+        raise SmokeFailure(
+            f"{len(wrong)} span(s) lost the request trace_id: {wrong[:3]}"
+        )
+
+    status, body = http_get(server.host, server.port, "/debug/slow")
+    if status != 200 or not json.loads(body)["traces"]:
+        raise SmokeFailure("/debug/slow empty after the forced-slow request")
+
+    status, waterfall = http_get(
+        server.host,
+        server.port,
+        f"/debug/traces?trace_id={trace_id}&format=jsonl",
+    )
+    if status != 200 or not waterfall.strip():
+        raise SmokeFailure("waterfall export (format=jsonl) came back empty")
+    records = [json.loads(line) for line in waterfall.splitlines() if line]
+    wf_spans = sum(1 for r in records if r.get("type") == "span")
+    if wf_spans != len(spans):
+        raise SmokeFailure(
+            f"waterfall exported {wf_spans} spans, ring holds {len(spans)}"
+        )
+    if waterfall_path:
+        Path(waterfall_path).write_bytes(waterfall)
+    return {
+        "trace_roundtrip": 1,
+        "retained_for_id": len(retained),
+        "slow_ring_nonempty": 1,
+        "waterfall_spans": wf_spans,
+    }
+
+
 def run_smoke(
     requests: int = 12,
     clients: int = 4,
@@ -162,6 +259,7 @@ def run_smoke(
     seed: int = 0,
     report_path: str | None = None,
     workdir: str | None = None,
+    waterfall_path: str | None = None,
 ) -> RunReport:
     """Run the full smoke; raises :class:`SmokeFailure` on any violated
     invariant, returns the (optionally written) RunReport otherwise."""
@@ -194,29 +292,42 @@ def run_smoke(
             t_warm = time.perf_counter() - t1
             warm_ok = check_phase("warm", warm_docs, warm, expect_cached=True)
 
+            tracing = check_tracing(server, seed, waterfall_path)
+
             status, metrics_body = http_get(server.host, server.port, "/metrics")
             if status != 200 or b"serve_cache_hit_total" not in metrics_body:
                 raise SmokeFailure(
                     f"GET /metrics: status {status}, cache-hit series missing"
                 )
+            if b"serve_cache_hit_ratio" not in metrics_body:
+                raise SmokeFailure("serve_cache_hit_ratio gauge missing")
             status, _ = http_get(server.host, server.port, "/healthz")
             if status != 200:
                 raise SmokeFailure(f"GET /healthz: status {status}")
             stats = service.stats()
 
     cache = stats["cache"]
-    if cache["hits"] != len(warm_docs):
+    # The tracing phase adds one unix-socket miss and one HTTP hit on top
+    # of the cold/warm phases.
+    if cache["hits"] != len(warm_docs) + 1:
         raise SmokeFailure(
-            f"expected exactly {len(warm_docs)} cache hits "
-            f"(every warm request), got {cache['hits']}"
+            f"expected exactly {len(warm_docs) + 1} cache hits "
+            f"(every warm request + the HTTP re-request), got {cache['hits']}"
         )
-    if cache["misses"] != len(cold_docs):
+    if cache["misses"] != len(cold_docs) + 1:
         raise SmokeFailure(
-            f"expected exactly {len(cold_docs)} cache misses "
-            f"(every cold request), got {cache['misses']}"
+            f"expected exactly {len(cold_docs) + 1} cache misses "
+            f"(every cold request + the traced request), got {cache['misses']}"
         )
     if stats["errors"]:
         raise SmokeFailure(f"{stats['errors']} error response(s)")
+    if stats.get("cache_hit_ratio") is None:
+        raise SmokeFailure("/stats carries no cache_hit_ratio")
+    if stats.get("transports", {}).get("http", 0) < 1:
+        raise SmokeFailure(
+            f"per-transport counts missed the HTTP request: "
+            f"{stats.get('transports')}"
+        )
     unique = len({r["digest"] for r in cold})
     if unique != len(cold_docs):
         raise SmokeFailure(
@@ -242,6 +353,8 @@ def run_smoke(
                 "cold_per_request_s": t_cold / len(cold_docs),
                 "warm_per_request_s": t_warm / len(warm_docs),
             },
+            "tracing": tracing,
+            "transports": dict(sorted(stats["transports"].items())),
         },
         phases={"cold": t_cold, "warm": t_warm},
         provenance=collect_provenance(
@@ -266,6 +379,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the RunReport JSON here")
+    parser.add_argument("--waterfall", default=None, metavar="PATH",
+                        help="write the traced request's waterfall JSONL "
+                             "here (render with 'repro trace PATH')")
     args = parser.parse_args(argv)
     try:
         report = run_smoke(
@@ -274,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             seed=args.seed,
             report_path=args.report,
+            waterfall_path=args.waterfall,
         )
     except SmokeFailure as exc:
         print(f"serve smoke FAILED: {exc}", file=sys.stderr)
@@ -288,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.report:
         print(f"report written to {args.report}")
+    if args.waterfall:
+        print(f"request waterfall written to {args.waterfall}")
     return 0
 
 

@@ -12,11 +12,16 @@ cross the process boundary.
 
 from __future__ import annotations
 
+import os
+import time
+from contextlib import contextmanager
 from typing import Mapping
 
 from ..core import algorithm_lookahead, local_block_orders
 from ..ir.basicblock import Trace
 from ..machine.model import MachineModel
+from ..obs import recorder as obs
+from ..obs.pipeline import TraceContext
 from ..schedulers import (
     block_orders_with_priority,
     critical_path_priority,
@@ -24,6 +29,33 @@ from ..schedulers import (
 )
 from ..sim import simulate_trace
 from .protocol import ScheduleRequest
+
+
+@contextmanager
+def request_trace_context(trace_id: str | None, parent_span_id: str | None):
+    """Re-stamp the active recorder's context with the *request's* trace id
+    for the duration of one compute.
+
+    Inside a pool worker the active recorder is the per-batch
+    ``spooled_cell`` recorder, whose context carries the daemon's batch
+    trace id.  Spans recorded while this context manager is active are
+    instead stamped with the distributed trace id the client supplied — so
+    a request's worker-side spans join *its* trace across the fork
+    boundary, not just the worker's pid.  No-op when tracing is off or the
+    request is untraced.
+    """
+    rec = obs.get_recorder()
+    if rec is None or trace_id is None:
+        yield
+        return
+    previous = rec.context
+    rec.context = TraceContext(
+        trace_id=trace_id, parent_span_id=parent_span_id, pid=os.getpid()
+    )
+    try:
+        yield
+    finally:
+        rec.context = previous
 
 
 def compute_block_orders(
@@ -48,11 +80,26 @@ def compute_schedule(request: ScheduleRequest) -> dict:
     The returned dict is the full uncached answer: emitted block orders,
     the simulated makespan / stall count, the runtime schedule's start
     times and unit assignments (needed so cache hits can reconstruct the
-    response without re-running anything), and the schedule's own content
-    digest (:meth:`repro.core.schedule.Schedule.digest`).
+    response without re-running anything), the schedule's own content
+    digest (:meth:`repro.core.schedule.Schedule.digest`), and a
+    ``"worker"`` block — pid, per-phase wall times, the request's trace id
+    — that rides back through the pool pickle so the service can graft
+    worker spans into the request's span tree even when spooling is off.
     """
-    orders = compute_block_orders(request.trace, request.machine, request.scheduler)
-    sim = simulate_trace(request.trace, orders, request.machine)
+    with request_trace_context(request.trace_id, request.parent_span_id):
+        t0 = time.perf_counter_ns()
+        with obs.span(
+            "serve.worker.schedule",
+            scheduler=request.scheduler,
+            trace_id=request.trace_id,
+        ):
+            orders = compute_block_orders(
+                request.trace, request.machine, request.scheduler
+            )
+        t1 = time.perf_counter_ns()
+        with obs.span("serve.worker.simulate", trace_id=request.trace_id):
+            sim = simulate_trace(request.trace, orders, request.machine)
+        t2 = time.perf_counter_ns()
     schedule = sim.schedule
     return {
         "block_orders": [list(o) for o in orders],
@@ -61,6 +108,15 @@ def compute_schedule(request: ScheduleRequest) -> dict:
         "starts": dict(schedule.starts),
         "units": {n: list(u) for n, u in schedule.units.items()},
         "schedule_digest": schedule.digest(),
+        "worker": {
+            "pid": os.getpid(),
+            "trace_id": request.trace_id,
+            "start_ns": t0,
+            "phases": {
+                "schedule_ns": t1 - t0,
+                "simulate_ns": t2 - t1,
+            },
+        },
     }
 
 

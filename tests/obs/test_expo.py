@@ -4,9 +4,11 @@ import io
 
 from repro.obs import recorder as obs
 from repro.obs.expo import (
+    daemon_snapshot,
     prometheus_text,
     sanitize_metric_name,
     top_snapshot,
+    watch_daemon,
     watch_spools,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -165,3 +167,73 @@ class TestWatchSpools:
             tmp_path, interval_s=0.1, iterations=5, out=out, sleep=boom
         )
         assert frames == 1
+
+
+class TestDaemonSnapshot:
+    def _doc(self):
+        return {
+            "stats": {
+                "requests": 10,
+                "errors": 1,
+                "batches": 4,
+                "uptime_s": 12.5,
+                "cache": {"hits": 6, "misses": 4},
+                "cache_hit_ratio": 0.6,
+                "transports": {"unix": 8, "http": 2},
+                "traces": {"added": 10, "recent": 10, "slow": 1, "errors": 1},
+                "slo": {
+                    "objective": 0.99,
+                    "total": 10,
+                    "bad": 1,
+                    "fast_burn_rate": 10.0,
+                    "slow_burn_rate": 10.0,
+                    "page": False,
+                    "ticket": True,
+                },
+            },
+            "metrics": {
+                "serve.requests": 10,
+                "serve.request.anticipatory.duration_s": {
+                    "count": 10, "mean": 0.002, "min": 0.001, "max": 0.01,
+                    "p50": 0.002, "p90": 0.005, "p99": 0.01,
+                },
+            },
+        }
+
+    def test_frame_contains_core_fields(self):
+        frame = daemon_snapshot(self._doc())
+        assert "requests 10" in frame
+        assert "60% hit" in frame
+        assert "unix" in frame and "http" in frame
+        assert "anticipatory" in frame
+
+    def test_throughput_from_previous_frame(self):
+        doc = self._doc()
+        prev = {"stats": {"requests": 5}}
+        frame = daemon_snapshot(doc, previous=prev, dt_s=1.0, width=120)
+        assert "5.0 req/s" in frame
+
+    def test_empty_doc_renders(self):
+        assert "requests 0" in daemon_snapshot({})
+
+
+class TestWatchDaemon:
+    def test_renders_requested_frames(self):
+        docs = iter([
+            {"stats": {"requests": 1}},
+            {"stats": {"requests": 2}},
+        ])
+        out = io.StringIO()
+        t = [0.0]
+
+        def clock():
+            t[0] += 1.0
+            return t[0]
+
+        frames = watch_daemon(
+            lambda: next(docs), interval_s=0.01, iterations=2,
+            out=out, clock=clock, sleep=lambda s: None, label="test",
+        )
+        assert frames == 2
+        assert "repro top — test" in out.getvalue()
+        assert "frame 2" in out.getvalue()

@@ -77,3 +77,28 @@ class TestChromeTrace:
     def test_chrome_trace_path_convention(self):
         assert chrome_trace_path("run.jsonl").name == "run.chrome.json"
         assert chrome_trace_path("run").name == "run.chrome.json"
+
+
+class TestRecordsToRecorder:
+    def test_waterfall_records_replay_through_chrome_exporter(self):
+        from repro.obs.export import records_to_recorder
+        from repro.obs.recorder import SpanRecord
+
+        records = [
+            {"type": "meta", "format": "repro-trace", "version": 2,
+             "trace_id": "cafe", "pid": 10, "spans": 2, "sim_traces": 0},
+            SpanRecord("serve.request", 1_000_000, 2_000_000, 0,
+                       {}, 10, "cafe").to_dict(),
+            SpanRecord("serve.worker.schedule", 1_500_000, 500_000, 2,
+                       {}, 99, "cafe").to_dict(),
+            {"type": "counter", "name": "serve.cache.miss", "value": 1},
+        ]
+        rec = records_to_recorder(records)
+        assert rec.context.trace_id == "cafe" and rec.context.pid == 10
+        assert [s.name for s in rec.spans] == [
+            "serve.request", "serve.worker.schedule",
+        ]
+        assert rec.counters == {"serve.cache.miss": 1}
+        events = chrome_trace_events(rec)
+        slices = [e for e in events if e.get("ph") == "X"]
+        assert {e["pid"] for e in slices} == {10, 99}

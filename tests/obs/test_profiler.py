@@ -126,3 +126,42 @@ class TestFlamegraph:
         _, prof = profile(_spin, 60, interval_s=0.002, mode="thread")
         html = flamegraph_html(prof.samples)
         assert "_spin" in html
+
+
+class TestTargetThread:
+    def test_profiles_a_specific_thread(self):
+        import threading
+
+        done = threading.Event()
+        started = threading.Event()
+        ident = {}
+
+        def worker():
+            ident["tid"] = threading.get_ident()
+            started.set()
+            _spin(150)
+            done.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        started.wait(5)
+        prof = SamplingProfiler(
+            interval_s=0.002, target_thread_id=ident["tid"]
+        )
+        prof.start()
+        done.wait(10)
+        prof.stop()
+        t.join()
+        assert prof.samples
+        assert any(
+            any(frame.endswith("_spin") for frame in stack)
+            for stack in prof.samples
+        )
+
+    def test_target_thread_forces_thread_mode(self):
+        prof = SamplingProfiler(target_thread_id=123)
+        assert prof._resolve_mode() == "thread"
+
+    def test_target_thread_incompatible_with_itimer(self):
+        with pytest.raises(ValueError, match="itimer"):
+            SamplingProfiler(mode="itimer", target_thread_id=123)

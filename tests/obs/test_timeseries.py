@@ -1,0 +1,165 @@
+"""Tests for the ring-buffer time-series store and burn-rate SLO tracker,
+driven by an explicit fake clock."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    SLOTracker,
+    TimeSeriesStore,
+    burn_rate_gauges,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestTimeSeriesStore:
+    def test_count_total_max_mean(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=60, resolution_s=1, clock=clock)
+        for v in (1.0, 2.0, 3.0):
+            store.record("lat", v)
+        assert store.count("lat") == 3
+        assert store.total("lat") == 6.0
+        assert store.max("lat") == 3.0
+        assert store.mean("lat") == 2.0
+
+    def test_window_excludes_old_buckets(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=60, resolution_s=1, clock=clock)
+        store.record("x")
+        clock.advance(10)
+        store.record("x")
+        assert store.count("x", over_s=5) == 1
+        assert store.count("x", over_s=60) == 2
+
+    def test_ring_reuses_slots_beyond_window(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=10, resolution_s=1, clock=clock)
+        store.record("x", 100.0)
+        clock.advance(30)  # far past the ring's coverage
+        store.record("x", 1.0)
+        # The old observation's slot was lazily reclaimed: only the new
+        # value remains visible anywhere in the window.
+        assert store.count("x") == 1
+        assert store.max("x") == 1.0
+
+    def test_rate_is_per_second(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=100, resolution_s=1, clock=clock)
+        for _ in range(50):
+            store.record("r")
+        assert store.rate("r", over_s=10) == pytest.approx(5.0)
+
+    def test_unknown_series_reads_as_empty(self):
+        store = TimeSeriesStore(clock=FakeClock())
+        assert store.count("nope") == 0.0
+        assert store.mean("nope") is None
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=60, resolution_s=1, clock=clock)
+        store.record("a", 2.0)
+        snap = store.snapshot()
+        assert set(snap) == {"a"}
+        assert snap["a"]["count"] == 1 and snap["a"]["total"] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="resolution_s"):
+            TimeSeriesStore(resolution_s=0)
+        with pytest.raises(ValueError, match="window_s"):
+            TimeSeriesStore(window_s=1, resolution_s=5)
+
+
+class TestSLOTracker:
+    def _tracker(self, clock, objective=0.99, **kw):
+        store = TimeSeriesStore(window_s=600, resolution_s=1, clock=clock)
+        return SLOTracker(objective=objective, store=store, clock=clock, **kw)
+
+    def test_burn_rate_one_means_budget_pace(self):
+        clock = FakeClock()
+        slo = self._tracker(clock, objective=0.99)
+        for i in range(100):
+            slo.record(ok=(i != 0))  # exactly 1% bad
+        assert slo.burn_rate(over_s=60) == pytest.approx(1.0)
+        assert slo.lifetime_burn_rate == pytest.approx(1.0)
+
+    def test_all_good_burns_nothing(self):
+        clock = FakeClock()
+        slo = self._tracker(clock)
+        for _ in range(10):
+            slo.record(ok=True)
+        assert slo.burn_rate(over_s=60) == 0.0
+        assert slo.lifetime_burn_rate == 0.0
+
+    def test_latency_breach_consumes_budget(self):
+        clock = FakeClock()
+        slo = self._tracker(clock, latency_slo_s=0.1)
+        assert slo.record(ok=True, duration_s=0.5) is True
+        assert slo.record(ok=True, duration_s=0.05) is False
+        assert slo.bad == 1 and slo.total == 2
+
+    def test_old_errors_age_out_of_windowed_rate(self):
+        clock = FakeClock()
+        slo = self._tracker(clock)
+        slo.record(ok=False)
+        clock.advance(120)
+        for _ in range(10):
+            slo.record(ok=True)
+        assert slo.burn_rate(over_s=60) == 0.0
+        assert slo.lifetime_burn_rate > 0.0  # lifetime never forgets
+
+    def test_snapshot_page_and_ticket_decisions(self):
+        clock = FakeClock()
+        slo = self._tracker(clock, objective=0.99)
+        for _ in range(10):
+            slo.record(ok=False)  # 100% bad: burn rate 100x
+        snap = slo.snapshot()
+        assert snap["page"] is True and snap["ticket"] is True
+        assert snap["fast_burn_rate"] == pytest.approx(100.0)
+
+    def test_no_traffic_snapshot_quiet(self):
+        snap = self._tracker(FakeClock()).snapshot()
+        assert snap["page"] is False and snap["fast_burn_rate"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLOTracker(objective=1.5)
+        with pytest.raises(ValueError, match="fast_window_s"):
+            SLOTracker(fast_window_s=100, slow_window_s=10)
+
+
+class TestBurnRateGauges:
+    def test_gauges_reflect_snapshot(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=600, resolution_s=1, clock=clock)
+        slo = SLOTracker(objective=0.99, store=store, clock=clock)
+        slo.record(ok=False)
+        registry = MetricsRegistry()
+        burn_rate_gauges(slo, registry)
+        out = registry.to_dict()
+        assert out["serve.slo.objective"] == 0.99
+        assert out["serve.slo.bad"] == 1
+        assert out["serve.slo.fast_burn_rate"] == pytest.approx(100.0)
+
+    def test_bad_counter_is_monotone_across_refreshes(self):
+        clock = FakeClock()
+        store = TimeSeriesStore(window_s=600, resolution_s=1, clock=clock)
+        slo = SLOTracker(objective=0.99, store=store, clock=clock)
+        registry = MetricsRegistry()
+        slo.record(ok=False)
+        burn_rate_gauges(slo, registry)
+        burn_rate_gauges(slo, registry)  # refresh without new traffic
+        assert registry.counter("serve.slo.bad").value == 1
+        slo.record(ok=False)
+        burn_rate_gauges(slo, registry)
+        assert registry.counter("serve.slo.bad").value == 2

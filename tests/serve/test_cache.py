@@ -131,3 +131,16 @@ class TestPersistence:
         cache.put("a", E1)
         cache.put("a", E1)
         assert len(path.read_text().splitlines()) == 1
+
+
+class TestHitRatio:
+    def test_none_before_any_lookup(self):
+        assert ScheduleCache(capacity=2).hit_ratio is None
+
+    def test_ratio_and_stats_key(self):
+        cache = ScheduleCache(capacity=2)
+        cache.get("a")          # miss
+        cache.put("a", E1)
+        cache.get("a")          # hit
+        assert cache.hit_ratio == 0.5
+        assert cache.stats()["hit_ratio"] == 0.5

@@ -12,8 +12,11 @@ from repro.serve.protocol import (
     machine_from_dict,
     machine_to_dict,
     ok_response,
+    server_timings,
     trace_from_dict,
+    trace_from_wire,
     trace_to_dict,
+    validate_trace_id,
 )
 from repro.workloads.traces import random_trace
 
@@ -118,3 +121,70 @@ class TestResponses:
 
     def test_error_response_without_id(self):
         assert "id" not in error_response(None, "boom")
+
+    def test_responses_echo_trace_and_server(self):
+        result = {
+            "block_orders": [["a"]],
+            "makespan": 1,
+            "stall_cycles": 0,
+            "schedule_digest": "ff" * 32,
+        }
+        server = {"pid": 42, "duration_s": 0.001, "phases": {"decode_s": 0.0}}
+        out = ok_response("r", "ab" * 32, False, result,
+                          trace_id="cafe", server=server)
+        assert out["trace"] == {"trace_id": "cafe"}
+        assert server_timings(out)["pid"] == 42
+        err = error_response("r", "boom", trace_id="dead")
+        assert err["trace"] == {"trace_id": "dead"}
+
+    def test_worker_block_never_leaks_into_response(self):
+        result = {
+            "block_orders": [["a"]],
+            "makespan": 1,
+            "stall_cycles": 0,
+            "schedule_digest": "ff" * 32,
+            "worker": {"pid": 7, "phases": {}},
+        }
+        assert "worker" not in ok_response("r", "ab" * 32, False, result)
+
+    def test_server_timings_absent(self):
+        assert server_timings({"ok": True}) is None
+
+
+class TestTraceField:
+    def test_trace_id_round_trips_through_request(self):
+        doc = _doc(seed=1)
+        request = ScheduleRequest.from_dict(doc)
+        assert request.trace_id is None
+        traced = ScheduleRequest.from_dict(dict(doc, trace="cafef00d"))
+        assert traced.trace_id == "cafef00d"
+        assert traced.to_dict()["trace"] == {"trace_id": "cafef00d"}
+
+    def test_trace_mapping_with_parent_span(self):
+        doc = dict(
+            _doc(seed=2),
+            trace={"trace_id": "cafef00d", "parent_span_id": "span1"},
+        )
+        request = ScheduleRequest.from_dict(doc)
+        assert request.trace_id == "cafef00d"
+        assert request.parent_span_id == "span1"
+        assert request.to_dict()["trace"] == {
+            "trace_id": "cafef00d", "parent_span_id": "span1",
+        }
+
+    def test_trace_from_wire_forms(self):
+        assert trace_from_wire(None) is None
+        assert trace_from_wire("abc") == ("abc", None)
+        assert trace_from_wire({"trace_id": "abc"}) == ("abc", None)
+        with pytest.raises(ProtocolError, match="trace"):
+            trace_from_wire(123)
+
+    def test_trace_id_validation(self):
+        validate_trace_id("a-b_C9")
+        for bad in ("", "x" * 65, "has space", "näh"):
+            with pytest.raises(ProtocolError, match="trace"):
+                validate_trace_id(bad)
+
+    def test_bad_trace_id_rejected_at_decode(self):
+        with pytest.raises(ProtocolError, match="trace"):
+            ScheduleRequest.from_dict(dict(_doc(seed=3), trace="bad id"))

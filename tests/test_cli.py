@@ -214,6 +214,33 @@ class TestTrace:
         assert main(["trace", prog]) == 2
         assert "not a repro trace" in capsys.readouterr().err
 
+    def test_trace_renders_request_waterfall(self, tmp_path, capsys):
+        from repro.machine.presets import PAPER_CORE
+        from repro.serve.protocol import ScheduleRequest
+        from repro.serve.service import ScheduleService
+        from repro.workloads.traces import random_trace
+
+        svc = ScheduleService()
+        request = ScheduleRequest(
+            trace=random_trace(2, (3, 4), cross_probability=0.2, seed=1),
+            machine=PAPER_CORE,
+            trace_id="cafef00d",
+        )
+        assert svc.handle(request.to_dict())["ok"]
+        retained = svc.tracebuf.recent()[-1]
+        path = tmp_path / "wf.jsonl"
+        path.write_text(
+            "\n".join(
+                json.dumps(r) for r in retained.waterfall_records()
+            ) + "\n"
+        )
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "request cafef00d" in out
+        assert "serve.phase.dispatch" in out
+        assert "serve.worker.schedule" in out
+        assert "1 request waterfall(s)" in out
+
 
 @pytest.fixture
 def report_pair(tmp_path):
@@ -421,3 +448,38 @@ class TestTop:
     def test_missing_dir_is_usage_error(self, tmp_path, capsys):
         assert main(["top", str(tmp_path / "nope")]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_no_spool_dir_and_no_connect_is_usage_error(self, capsys):
+        assert main(["top"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_connect_to_absent_daemon_fails_cleanly(self, tmp_path, capsys):
+        assert main(["top", "--connect", str(tmp_path / "no.sock"),
+                     "--frames", "1"]) == 2
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_connect_to_live_daemon_renders_frame(self, tmp_path, capsys):
+        from repro.machine.presets import PAPER_CORE
+        from repro.serve.daemon import ScheduleServer, ServerHandle
+        from repro.serve.protocol import ScheduleRequest
+        from repro.serve.service import ScheduleService
+        from repro.workloads.traces import random_trace
+
+        service = ScheduleService()
+        srv = ScheduleServer(
+            service, socket_path=tmp_path / "s.sock", batch_window_s=0.001
+        )
+        with ServerHandle(srv):
+            doc = ScheduleRequest(
+                trace=random_trace(2, (3, 4), cross_probability=0.2, seed=2),
+                machine=PAPER_CORE,
+            ).to_dict()
+            from repro.serve.client import ScheduleClient
+
+            with ScheduleClient(srv.socket_path) as client:
+                assert client.call(doc)["ok"]
+            capsys.readouterr()
+            assert main(["top", "--connect", str(srv.socket_path),
+                         "--interval", "0", "--frames", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "requests 1" in out
