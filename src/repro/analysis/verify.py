@@ -48,13 +48,17 @@ def check_runtime_legality(
     machine: MachineModel | None = None,
 ) -> None:
     """The windowed execution of the emitted orders must satisfy Definition
-    2.3 (it does by construction of the simulator; this guards the
-    simulator and the orders together)."""
+    2.3.  The emitted orders themselves are the legality witness — the
+    priority list the execution was greedily driven by — so the check is
+    exact even where the schedule's derived sub-permutations would not
+    reproduce it (cross-block overtakes, multi-unit issue ties)."""
     from ..sim.window import simulate_trace
 
     machine = machine or single_unit_machine()
     sim = simulate_trace(trace, block_orders, machine)
-    if not is_legal_schedule(trace, sim.schedule, machine):
+    if not is_legal_schedule(
+        trace, sim.schedule, machine, witness_orders=block_orders
+    ):
         raise OutputError("windowed execution is not a legal schedule")
 
 

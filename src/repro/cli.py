@@ -634,6 +634,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the scheduling daemon (see docs/SERVING.md)."""
     import asyncio
 
+    from .serve.admission import AdmissionConfig
     from .serve.daemon import ScheduleServer
     from .serve.service import ScheduleService
 
@@ -647,6 +648,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         spool_dir=args.spool_dir,
         timeout_s=args.timeout_s,
         retries=args.retries,
+        guard_budget_s=args.guard_budget_s,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
     )
     server = ScheduleServer(
         service,
@@ -656,6 +660,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         batch_window_s=args.batch_window_ms / 1000.0,
         access_log=args.access_log,
+        admission=AdmissionConfig(
+            queue_capacity=args.queue_capacity,
+            inflight_limit=args.inflight_limit,
+        ),
     )
 
     async def _run() -> None:
@@ -675,11 +683,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     stats = service.stats()
     cache = stats["cache"]
+    admission = stats.get("admission") or {}
     print(
         f"repro serve: stopped after {stats['requests']} request(s) "
         f"({cache['hits']} cache hit(s), {cache['misses']} miss(es), "
-        f"{stats['errors']} error(s))"
+        f"{stats['errors']} error(s), {admission.get('shed_total', 0)} "
+        f"shed)"
     )
+    return 0
+
+
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """Run the serve-tier chaos harness against a live daemon
+    (see docs/RELIABILITY.md)."""
+    from .serve.chaos import ChaosFailure, run_chaos
+
+    try:
+        report = run_chaos(
+            requests=args.requests,
+            burst=args.burst,
+            queue_capacity=args.queue_capacity,
+            jobs=args.jobs,
+            seed=args.seed,
+            report_path=args.report,
+        )
+    except ChaosFailure as exc:
+        print(f"serve chaos FAILED: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        inv = report.metrics["invariants"]
+        observed = report.provenance["observed"]
+        print(
+            "serve chaos OK: "
+            f"{sum(inv.values())}/{len(inv)} invariants held "
+            f"(shed {observed['shed_seen']}, "
+            f"degraded {observed['degraded']}, "
+            f"crash errors {observed['crash_errors']}, "
+            f"{report.metrics['chaos_wall_s']:.2f}s)"
+        )
+    if args.report:
+        print(f"report: wrote {args.report}")
     return 0
 
 
@@ -923,7 +968,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--access-log", metavar="FILE", default=None,
                    help="append one structured JSON line per request "
                         "(trace_id, digest, hit/miss, duration, status)")
+    p.add_argument("--queue-capacity", type=int, default=128, metavar="N",
+                   help="admission queue bound; requests beyond it are shed "
+                        "with a structured 'overloaded' error (default 128)")
+    p.add_argument("--inflight-limit", type=int, default=256, metavar="N",
+                   help="max requests in flight per transport before "
+                        "shedding (default 256)")
+    p.add_argument("--guard-budget-s", type=float, default=5.0, metavar="SEC",
+                   help="per-request scheduling time budget; blowouts "
+                        "return a verified legal fallback marked "
+                        "'degraded' (default 5)")
+    p.add_argument("--breaker-threshold", type=int, default=5, metavar="K",
+                   help="consecutive failures before a scheduler class's "
+                        "circuit breaker opens (default 5)")
+    p.add_argument("--breaker-cooldown-s", type=float, default=30.0,
+                   metavar="SEC",
+                   help="open-breaker cooldown before the half-open probe "
+                        "(default 30)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-chaos",
+        help="fault-injection harness for the serving daemon: seeded "
+             "worker crashes/hangs, slow schedulers, malformed frames, "
+             "client disconnects and overload bursts against a live "
+             "daemon, asserting every accepted request gets exactly one "
+             "structured response (see docs/RELIABILITY.md)",
+    )
+    p.add_argument("--requests", type=int, default=36, metavar="N",
+                   help="chaotic pipelined requests (default 36)")
+    p.add_argument("--burst", type=int, default=48, metavar="N",
+                   help="concurrent overload-burst requests (default 48)")
+    p.add_argument("--queue-capacity", type=int, default=8, metavar="N",
+                   help="admission queue capacity under test (default 8)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="service worker processes (default 2; crash/hang "
+                        "chaos needs >= 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (default 0)")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write the invariant RunReport JSON to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the RunReport to stdout")
+    p.set_defaults(func=cmd_serve_chaos)
 
     p = sub.add_parser(
         "flame",

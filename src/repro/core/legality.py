@@ -86,14 +86,28 @@ def satisfies_ordering_constraint(
     trace: Trace,
     schedule: Schedule,
     machine: MachineModel | None = None,
+    priority: Sequence[str] | None = None,
 ) -> bool:
-    """S must be reproducible as the greedy window execution of its own
-    priority list L = P₁∘…∘Pₘ — same start times for every instruction."""
+    """S must be reproducible as the greedy window execution of a priority
+    list L = P₁∘…∘Pₘ — same start times for every instruction.
+
+    Definition 2.3 is existential ("obtainable as a greedy schedule from
+    *a* priority list"); when the caller knows the list that produced S it
+    passes it as ``priority`` and the check is exact.  Without a witness
+    the canonical candidate — the sub-permutations of S's own issue order —
+    is tried instead.  That candidate is *incomplete*: a windowed execution
+    may overtake a stalled instruction within its own block, so the issue
+    order's per-block sub-permutation can differ from the list that
+    produced it, and ties under multi-unit issue make the permutation
+    itself ambiguous.  A ``False`` without a witness therefore means "the
+    canonical witness fails", not "no witness exists".
+    """
     from ..sim.window import simulate_window
 
     machine = machine or single_unit_machine()
-    perm = schedule.permutation()
-    priority = [n for order in block_orders_of(trace, perm) for n in order]
+    if priority is None:
+        perm = schedule.permutation()
+        priority = [n for order in block_orders_of(trace, perm) for n in order]
     sim = simulate_window(trace.graph, priority, machine)
     return all(sim.start(n) == schedule.start(n) for n in trace.graph.nodes)
 
@@ -103,9 +117,17 @@ def is_legal_schedule(
     schedule: Schedule,
     machine: MachineModel | None = None,
     strict: bool = False,
+    witness_orders: Sequence[Sequence[str]] | None = None,
 ) -> bool:
     """Operational legality: dependences + reproducibility as the windowed
-    greedy execution of the schedule's own priority list.
+    greedy execution of a priority list.
+
+    ``witness_orders`` — per-block orders whose concatenation is the
+    priority list claimed to produce the schedule (e.g. the orders a
+    scheduler actually emitted).  With a witness the reproducibility check
+    is exact; without one the schedule's own derived sub-permutations are
+    tried, which is conservative (see
+    :func:`satisfies_ordering_constraint`).
 
     With ``strict=True`` the paper's literal span-based Window Constraint
     (Definition 2.2) is additionally required — see the module docstring for
@@ -118,4 +140,11 @@ def is_legal_schedule(
         perm = schedule.permutation()
         if not satisfies_window_constraint(trace, perm, machine.window_size):
             return False
-    return satisfies_ordering_constraint(trace, schedule, machine)
+    priority = (
+        None
+        if witness_orders is None
+        else [n for order in witness_orders for n in order]
+    )
+    return satisfies_ordering_constraint(
+        trace, schedule, machine, priority=priority
+    )

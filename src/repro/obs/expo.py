@@ -228,6 +228,7 @@ def daemon_snapshot(
     ratio = stats.get("cache_hit_ratio")
     head = (
         f"requests {requests}  errors {stats.get('errors', 0)}"
+        f"  degraded {stats.get('degraded', 0)}"
         f"  batches {stats.get('batches', 0)}"
         f"  uptime {stats.get('uptime_s', 0.0):.0f}s"
         f"  cache {cache.get('hits', 0)}/{cache.get('misses', 0)}"
@@ -245,6 +246,28 @@ def daemon_snapshot(
             "transports: "
             + "  ".join(f"{k}={v}" for k, v in sorted(transports.items()))
         )
+    admission = stats.get("admission") or {}
+    if admission:
+        lines.append(
+            f"admission: queue {admission.get('queue_depth', 0)}"
+            f"/{admission.get('queue_capacity', 0)}"
+            f" (peak {admission.get('peak_depth', 0)})"
+            f"  inflight {admission.get('inflight_total', 0)}"
+            f"  shed {admission.get('shed_total', 0)}"
+            f"  deadline_exceeded {stats.get('deadline_exceeded', 0)}"
+            + ("  BROWNOUT" if admission.get("brownout") else "")
+        )
+    breakers = stats.get("breakers") or {}
+    if breakers:
+        parts = [
+            f"{name}={snap.get('state', '?')}"
+            for name, snap in sorted(breakers.items())
+        ]
+        line = "breakers: " + "  ".join(parts)
+        opened = sum(s.get("opened", 0) for s in breakers.values())
+        if opened:
+            line += f"  (opened {opened}x)"
+        lines.append(line)
     slo = stats.get("slo") or {}
     if slo:
         lines.append(
@@ -263,6 +286,7 @@ def daemon_snapshot(
             f"  rings recent={traces.get('recent', 0)}"
             f" slow={traces.get('slow', 0)}"
             f" errors={traces.get('errors', 0)}"
+            f" degraded={traces.get('degraded', 0)}"
             + (f"  p99 {p99 * 1e3:.2f} ms" if p99 is not None else "")
         )
 

@@ -54,6 +54,11 @@ class GuardError(RuntimeError):
     conditions — the pipeline cannot produce a legal order at all."""
 
 
+#: Sentinel distinguishing "use the instance default" from an explicit
+#: ``None`` ("no limit") in per-call budget overrides.
+_UNSET = object()
+
+
 class GuardTimeout(TimeoutError):
     """The primary scheduler exceeded the guard's time budget."""
 
@@ -202,8 +207,18 @@ class GuardedScheduler:
         )
         return result.block_orders, result.predicted_makespan
 
-    def schedule(self, trace: Trace) -> GuardedResult:
-        """Schedule ``trace``; always returns a verified-legal result."""
+    def schedule(
+        self, trace: Trace, time_budget_s: object = _UNSET
+    ) -> GuardedResult:
+        """Schedule ``trace``; always returns a verified-legal result.
+
+        ``time_budget_s`` overrides the instance budget for this call only
+        (pass ``None`` explicitly to disable the limit) — the serving
+        worker tightens it to the request's remaining deadline.
+        """
+        budget_s = (
+            self.time_budget_s if time_budget_s is _UNSET else time_budget_s
+        )
         obs.count("guard.schedule")
         with obs.span("guard.schedule", nodes=len(trace.graph)):
             n = len(trace.graph)
@@ -218,7 +233,7 @@ class GuardedScheduler:
 
             started = _time.perf_counter()
             try:
-                with _time_limit(self.time_budget_s):
+                with _time_limit(budget_s):
                     orders, predicted = self._run_primary(trace)
                     verify_s = 0.0
                     if self.verify:
@@ -227,13 +242,10 @@ class GuardedScheduler:
                             verify_scheduler_output(trace, orders, self.machine)
                         verify_s = _time.perf_counter() - v0
                 elapsed = _time.perf_counter() - started
-                if (
-                    self.time_budget_s is not None
-                    and 0 < self.time_budget_s < elapsed
-                ):
+                if budget_s is not None and 0 < budget_s < elapsed:
                     raise GuardTimeout(
                         f"scheduling took {elapsed:.3f}s, over the "
-                        f"{self.time_budget_s:g}s budget"
+                        f"{budget_s:g}s budget"
                     )
             except GuardTimeout as exc:
                 return self._fallback(

@@ -74,22 +74,36 @@ class ExecutionPool:
         self.attempts = 0
         self.pool_restarts = 0
 
-    def run(self, items: Sequence[object]) -> SweepResult:
+    def run(
+        self,
+        items: Sequence[object],
+        timeout_s: float | None = None,
+    ) -> SweepResult:
         """Drive one batch to completion; failed items appear as
         :class:`~repro.robust.sweep.SweepFailure` entries in input order
-        instead of aborting the batch."""
+        instead of aborting the batch.
+
+        ``timeout_s`` overrides the configured stall timeout for this
+        batch only — the serving tier tightens it to the smallest
+        remaining request deadline so a batch never outlives the clients
+        waiting on it.  ``None`` keeps the config value.
+        """
         cfg = self.config
         result = run_sweep_robust(
             self.fn,
             items,
             jobs=cfg.jobs,
-            timeout_s=cfg.timeout_s,
+            timeout_s=cfg.timeout_s if timeout_s is None else timeout_s,
             retries=cfg.retries,
             backoff_s=cfg.backoff_s,
             backoff_cap_s=cfg.backoff_cap_s,
             backoff_jitter=cfg.backoff_jitter,
             backoff_seed=cfg.backoff_seed,
             telemetry_dir=self.telemetry_dir,
+            # The pool's contract is crash isolation per batch: even a
+            # single-item batch must keep the fork boundary when jobs > 1,
+            # or one crashing request takes the daemon down with it.
+            isolate=True,
         )
         self.batches += 1
         self.attempts += result.attempts

@@ -213,6 +213,7 @@ def run_sweep_robust(
     backoff_seed: int | None = 0,
     checkpoint: str | os.PathLike | None = None,
     telemetry_dir: str | os.PathLike | None = None,
+    isolate: bool = False,
 ) -> SweepResult:
     """Map ``fn`` over ``params`` (argument tuples; bare values are
     1-tuples), surviving worker crashes, hangs and interruptions.
@@ -240,6 +241,13 @@ def run_sweep_robust(
     ``result.telemetry``.  Counter totals and span-name counts are then
     identical between ``jobs=1`` and ``jobs=N`` runs of the same grid —
     only wall-clock differs.
+
+    ``isolate`` keeps the fork boundary even when only one cell is
+    pending: by default a single-cell sweep with ``jobs > 1`` is clamped
+    to in-process execution (cheaper for sweeps), but a *serving* caller
+    relies on the worker process as a blast shield — a crashing or hung
+    cell must never take the host process with it — so
+    :class:`~repro.robust.pool.ExecutionPool` always passes ``True``.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -315,7 +323,12 @@ def run_sweep_robust(
 
         if not pending:
             return finish()
-        jobs = max(1, min(jobs, len(pending)))
+        if isolate and jobs > 1:
+            # Keep at least two pool slots so the fork boundary survives a
+            # single-cell batch (crash isolation beats the idle worker).
+            jobs = min(jobs, max(len(pending), 2))
+        else:
+            jobs = max(1, min(jobs, len(pending)))
 
         with obs.span("sweep", cells=n, jobs=jobs):
             if jobs == 1:

@@ -11,8 +11,17 @@ Persistence is an append-only JSONL file: one ``{"digest": ..., "entry":
 ...}`` line per insertion, flushed immediately.  Loading replays the file
 last-wins and tolerates a torn final line (a daemon killed mid-append must
 not poison its own restart).  The file is an upper bound on the in-memory
-view — the LRU stays within ``capacity``; the store keeps everything ever
-computed and warms the LRU up to capacity on restart.
+view — the LRU stays within ``capacity`` and warms back up to capacity on
+restart.
+
+The store is **size-capped** rather than unbounded: appends never rewrite
+the file (a torn rewrite must not lose the cache), but once dead lines —
+superseded duplicates plus entries evicted beyond ``capacity`` — exceed
+``compact_ratio`` times the resident set, :meth:`compact` rewrites the
+store atomically (tmp file + rename) to exactly the live entries.
+Compaction also runs at load time when the replayed file carries that much
+garbage, so a long-lived daemon's store stays O(capacity) instead of
+O(lifetime inserts).
 
 Instrumentation: ``serve.cache.hit`` / ``serve.cache.miss`` /
 ``serve.cache.evict`` are counted on both the active
@@ -41,16 +50,26 @@ class ScheduleCache:
         capacity: int = 1024,
         path: str | os.PathLike | None = None,
         registry: MetricsRegistry | None = None,
+        compact_ratio: float = 4.0,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if compact_ratio < 1.0:
+            raise ValueError(
+                f"compact_ratio must be >= 1, got {compact_ratio}"
+            )
         self.capacity = capacity
         self.path = Path(path) if path is not None else None
         self.registry = registry
+        self.compact_ratio = compact_ratio
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.compactions = 0
+        #: Lines currently in the on-disk store (live + dead); the basis
+        #: of the compaction trigger.
+        self.store_lines = 0
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -66,8 +85,10 @@ class ScheduleCache:
     def _load(self) -> None:
         """Replay the JSONL store: last write per digest wins, bad or torn
         lines are skipped, only the most recent ``capacity`` entries stay
-        resident."""
+        resident.  A store carrying more than ``compact_ratio`` times the
+        resident set in dead lines is compacted on the spot."""
         replay: "OrderedDict[str, dict]" = OrderedDict()
+        lines = 0
         try:
             text = self.path.read_text()
         except OSError:
@@ -76,6 +97,7 @@ class ScheduleCache:
             line = line.strip()
             if not line:
                 continue
+            lines += 1
             try:
                 rec = json.loads(line)
                 digest, entry = rec["digest"], rec["entry"]
@@ -87,6 +109,9 @@ class ScheduleCache:
             replay[digest] = entry
         for digest, entry in list(replay.items())[-self.capacity :]:
             self._entries[digest] = entry
+        self.store_lines = lines
+        if self._compaction_due():
+            self.compact()
 
     def _append(self, digest: str, entry: dict) -> None:
         if self.path is None:
@@ -96,6 +121,43 @@ class ScheduleCache:
         with self.path.open("a") as fh:
             fh.write(line + "\n")
             fh.flush()
+        self.store_lines += 1
+        if self._compaction_due():
+            self.compact()
+
+    def _compaction_due(self) -> bool:
+        """True once dead store lines exceed ``compact_ratio`` x the live
+        set — the store-size cap: the file never holds more than
+        ``(1 + compact_ratio) * max(live, 1)`` lines for long."""
+        if self.path is None:
+            return False
+        live = max(len(self._entries), 1)
+        return self.store_lines - len(self._entries) > self.compact_ratio * live
+
+    def compact(self) -> int:
+        """Rewrite the store to exactly the resident entries (atomic:
+        tmp file + rename, so a crash mid-compact leaves the old store).
+        Returns the number of dead lines dropped."""
+        if self.path is None:
+            return 0
+        dropped = self.store_lines - len(self._entries)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w") as fh:
+            for digest, entry in self._entries.items():
+                fh.write(
+                    json.dumps(
+                        {"digest": digest, "entry": entry}, sort_keys=True
+                    )
+                    + "\n"
+                )
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+        self.store_lines = len(self._entries)
+        self.compactions += 1
+        self._count("serve.cache.compact")
+        return max(dropped, 0)
 
     # -- lookup / insert -----------------------------------------------------
 
@@ -156,4 +218,6 @@ class ScheduleCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_ratio": self.hit_ratio,
+            "store_lines": self.store_lines,
+            "compactions": self.compactions,
         }

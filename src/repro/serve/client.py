@@ -122,10 +122,10 @@ class ScheduleClient:
         trace_id: str | None = None,
     ) -> dict:
         """Tail-sampled request traces from the daemon's trace buffer.
-        ``ring`` is ``recent``/``slow``/``errors`` (matching the
-        ``/debug/traces``, ``/debug/slow`` and ``/debug/errors`` HTTP
-        endpoints)."""
-        if ring not in ("recent", "slow", "errors"):
+        ``ring`` is ``recent``/``slow``/``errors``/``degraded``
+        (matching the ``/debug/traces``, ``/debug/slow``,
+        ``/debug/errors`` and ``/debug/degraded`` HTTP endpoints)."""
+        if ring not in ("recent", "slow", "errors", "degraded"):
             raise ValueError(f"unknown trace ring: {ring!r}")
         doc: dict = {"op": "traces" if ring == "recent" else ring}
         if n is not None:

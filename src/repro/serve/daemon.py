@@ -28,6 +28,18 @@ Each batch runs in a **single-thread** executor — the obs recorder is
 process-global, so request handling must not interleave in threads; CPU
 parallelism comes from the service's worker pool (``--jobs``), not from
 threading the daemon.
+
+Overload safety: the queue is **bounded** by an
+:class:`~repro.serve.admission.AdmissionController` — every request must
+be admitted before it is enqueued, and a request beyond the queue
+capacity (or its transport's inflight limit) is shed immediately with a
+structured ``overloaded`` error carrying ``retry_after_s`` (HTTP answers
+503 with a ``Retry-After`` header).  Above the brownout threshold the
+collector stops paying the coalescing wait and the ``/debug/*``
+endpoints answer 503 — optional work is shed before requests are.  A
+request document may carry ``deadline_ms``; the daemon stamps its expiry
+at admission, and the service drops it with ``deadline_exceeded`` (HTTP
+504) if the budget dies in the queue.
 """
 
 from __future__ import annotations
@@ -48,7 +60,8 @@ from ..obs.profiler import (
     collapsed_stacks,
     flamegraph_html,
 )
-from .protocol import error_response
+from .admission import AdmissionConfig, AdmissionController
+from .protocol import deadline_s_from_doc, error_response
 from .service import ScheduleService
 
 #: Default limit on requests coalesced into one batch.
@@ -72,12 +85,23 @@ class ScheduleServer:
         batch_max: int = DEFAULT_BATCH_MAX,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         access_log: str | os.PathLike | None = None,
+        admission: AdmissionConfig | None = None,
+        max_line: int = _MAX_LINE,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("need a unix socket path and/or a TCP port")
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if max_line < 1024:
+            raise ValueError(f"max_line must be >= 1024, got {max_line}")
         self.service = service
+        self.max_line = int(max_line)
+        #: Bounded-queue admission ledger, shared by both transports and
+        #: attached to the service so /stats and /metrics can surface it.
+        self.admission = AdmissionController(
+            admission, registry=service.registry
+        )
+        service.admission = self.admission
         self.socket_path = Path(socket_path) if socket_path is not None else None
         self.host = host
         self.port = port
@@ -114,12 +138,17 @@ class ScheduleServer:
                 self.socket_path.unlink()
             self._servers.append(
                 await asyncio.start_unix_server(
-                    self._serve_unix, path=str(self.socket_path), limit=_MAX_LINE
+                    self._serve_unix,
+                    path=str(self.socket_path),
+                    limit=self.max_line,
                 )
             )
         if self.port is not None:
             server = await asyncio.start_server(
-                self._serve_http, host=self.host, port=self.port, limit=_MAX_LINE
+                self._serve_http,
+                host=self.host,
+                port=self.port,
+                limit=self.max_line,
             )
             self._servers.append(server)
             # Resolve port 0 to the actual bound port for clients.
@@ -164,10 +193,34 @@ class ScheduleServer:
     # -- batching ------------------------------------------------------------
 
     async def _submit(self, doc: dict, transport: str = "unknown") -> dict:
-        """Enqueue one request document; resolves to its response."""
+        """Admit + enqueue one request document; resolves to its response.
+
+        Admission is the bounded front door: a request beyond the queue
+        capacity or the transport's inflight limit is answered
+        ``overloaded`` right here — it never touches the queue, the batch
+        executor, or the pool.  Admitted requests get their ``deadline_ms``
+        expiry stamped now, so queue wait counts against the budget.
+        """
+        request_id = doc.get("id") if isinstance(doc, dict) else None
+        reason = self.admission.try_admit(transport)
+        if reason is not None:
+            return error_response(
+                request_id,
+                f"overloaded: {reason.replace('_', ' ')} "
+                f"(retry after {self.admission.config.retry_after_s:g}s)",
+                code="overloaded",
+                retry_after_s=self.admission.config.retry_after_s,
+            )
+        budget_s = deadline_s_from_doc(doc)
+        expires = None if budget_s is None else time.monotonic() + budget_s
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put((doc, transport, time.monotonic(), future))
-        return await future
+        await self._queue.put(
+            (doc, transport, time.monotonic(), expires, future)
+        )
+        try:
+            return await future
+        finally:
+            self.admission.release(transport)
 
     async def _batch_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -176,6 +229,14 @@ class ScheduleServer:
             batch = [first]
             deadline = loop.time() + self.batch_window_s
             while len(batch) < self.batch_max:
+                if self.admission.brownout:
+                    # Brownout: stop paying the coalescing wait — take only
+                    # what is already queued and get it to the executor.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                    continue
                 remaining = deadline - loop.time()
                 if remaining <= 0:
                     break
@@ -185,13 +246,25 @@ class ScheduleServer:
                     )
                 except asyncio.TimeoutError:
                     break
-            docs = [doc for doc, _, _, _ in batch]
-            transports = [transport for _, transport, _, _ in batch]
+            self.admission.note_dequeued(len(batch))
+            docs = [doc for doc, _, _, _, _ in batch]
+            transports = [transport for _, transport, _, _, _ in batch]
+            # Remaining per-request budgets at dispatch: queue wait already
+            # spent; the service drops expired ones before they reach the
+            # pool and tightens the pool stall timeout to the rest.
+            now = time.monotonic()
+            deadlines = [
+                None if expires is None else expires - now
+                for _, _, _, expires, _ in batch
+            ]
             try:
                 responses = await loop.run_in_executor(
                     self._executor,
                     functools.partial(
-                        self.service.handle_batch, docs, transports=transports
+                        self.service.handle_batch,
+                        docs,
+                        transports=transports,
+                        deadlines=deadlines,
                     ),
                 )
             except Exception as exc:  # defensive: the service shouldn't raise
@@ -199,11 +272,12 @@ class ScheduleServer:
                     error_response(
                         doc.get("id") if isinstance(doc, dict) else None,
                         f"internal error: {exc}",
+                        code="internal",
                     )
                     for doc in docs
                 ]
             now = time.monotonic()
-            for (doc, transport, enqueued, future), response in zip(
+            for (doc, transport, enqueued, _, future), response in zip(
                 batch, responses
             ):
                 if not future.done():
@@ -260,7 +334,21 @@ class ScheduleServer:
                 "op": "metrics",
                 "text": prometheus_text(self.service.registry),
             }
-        if op in ("traces", "slow", "errors"):
+        if op in ("traces", "slow", "errors", "degraded", "top"):
+            # Debug introspection is the first thing brownout sheds: these
+            # ops serialize whole trace rings while the daemon is already
+            # behind (stats/metrics stay up — operators need them most
+            # exactly now).
+            if self.admission.brownout:
+                return {
+                    "ok": False,
+                    "op": op,
+                    "error": "debug surface disabled during brownout",
+                    "code": "overloaded",
+                    "retry_after_s": self.admission.config.retry_after_s,
+                }
+            if op == "top":
+                return {"ok": True, "op": "top", **self._top_doc()}
             return {
                 "ok": True,
                 "op": op,
@@ -270,8 +358,6 @@ class ScheduleServer:
                     trace_id=doc.get("trace_id"),
                 ),
             }
-        if op == "top":
-            return {"ok": True, "op": "top", **self._top_doc()}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     # -- debug documents (shared by both transports) --------------------------
@@ -283,9 +369,12 @@ class ScheduleServer:
         trace_id: str | None = None,
     ) -> dict:
         buf = self.service.tracebuf
-        select = {"recent": buf.recent, "slow": buf.slow, "errors": buf.errors}[
-            ring
-        ]
+        select = {
+            "recent": buf.recent,
+            "slow": buf.slow,
+            "errors": buf.errors,
+            "degraded": buf.degraded,
+        }[ring]
         limit = None
         if n is not None:
             try:
@@ -356,12 +445,18 @@ class ScheduleServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, content_type, body = await self._http_response(reader)
+            result = await self._http_response(reader)
+            status, content_type, body = result[:3]
+            extra_headers = result[3] if len(result) > 3 else {}
             head = (
                 f"HTTP/1.1 {status}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n"
+                + "".join(
+                    f"{name}: {value}\r\n"
+                    for name, value in extra_headers.items()
+                )
+                + "Connection: close\r\n\r\n"
             )
             writer.write(head.encode() + body)
             await writer.drain()
@@ -374,9 +469,7 @@ class ScheduleServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _http_response(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
+    async def _http_response(self, reader: asyncio.StreamReader) -> tuple:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) < 2:
@@ -408,9 +501,21 @@ class ScheduleServer:
         if method == "GET" and path == "/stats":
             body = json.dumps(self.service.stats(), sort_keys=True) + "\n"
             return "200 OK", "application/json", body.encode()
-        if method == "GET" and path in ("/debug/traces", "/debug/slow", "/debug/errors"):
+        if path.startswith("/debug/") and self.admission.brownout:
+            # Brownout sheds the debug surface before it sheds requests.
+            retry = self.admission.config.retry_after_s
+            return (
+                "503 Service Unavailable",
+                "text/plain",
+                b"debug surface disabled during brownout\n",
+                {"Retry-After": f"{max(int(retry + 0.999), 1)}"},
+            )
+        if method == "GET" and path in (
+            "/debug/traces", "/debug/slow", "/debug/errors", "/debug/degraded"
+        ):
             ring = {"/debug/traces": "recent", "/debug/slow": "slow",
-                    "/debug/errors": "errors"}[path]
+                    "/debug/errors": "errors",
+                    "/debug/degraded": "degraded"}[path]
             doc = self._traces_doc(
                 ring=ring,
                 n=query.get("n"),
@@ -438,11 +543,11 @@ class ScheduleServer:
         if method == "GET" and path == "/debug/profile":
             return await self._profile_response(query)
         if method == "POST" and path == "/v1/schedule":
-            if content_length > _MAX_LINE:
+            if content_length > self.max_line:
                 return (
                     "413 Payload Too Large",
                     "text/plain",
-                    f"body exceeds {_MAX_LINE} bytes\n".encode(),
+                    f"body exceeds {self.max_line} bytes\n".encode(),
                 )
             if content_length <= 0:
                 return "400 Bad Request", "text/plain", b"need a JSON body\n"
@@ -450,22 +555,42 @@ class ScheduleServer:
             try:
                 doc = json.loads(raw)
             except ValueError as exc:
-                body = json.dumps(error_response(None, f"bad JSON: {exc}")) + "\n"
+                body = json.dumps(
+                    error_response(None, f"bad JSON: {exc}", code="bad_request")
+                ) + "\n"
                 return "400 Bad Request", "application/json", body.encode()
             if isinstance(doc, dict) and isinstance(doc.get("requests"), list):
                 responses = await asyncio.gather(
                     *(self._submit(d, transport="http") for d in doc["requests"])
                 )
                 body = json.dumps({"responses": responses}, sort_keys=True) + "\n"
-            else:
-                body = (
-                    json.dumps(
-                        await self._submit(doc, transport="http"), sort_keys=True
-                    )
-                    + "\n"
-                )
-            return "200 OK", "application/json", body.encode()
+                # Batch answers stay 200: per-request outcomes (including
+                # sheds) are in the response documents.
+                return "200 OK", "application/json", body.encode()
+            response = await self._submit(doc, transport="http")
+            body = json.dumps(response, sort_keys=True) + "\n"
+            return self._single_schedule_http(response, body)
         return "404 Not Found", "text/plain", b"not found\n"
+
+    def _single_schedule_http(self, response: dict, body: str) -> tuple:
+        """Status line + headers for a single ``POST /v1/schedule`` answer:
+        structured error codes map onto the matching HTTP semantics
+        (``overloaded`` / ``breaker_open`` -> 503 + Retry-After,
+        ``deadline_exceeded`` -> 504).  Decodable-but-invalid requests keep
+        answering 200 with a structured ``ok: false`` body — that contract
+        predates the error codes and clients rely on it."""
+        status = "200 OK"
+        headers: dict = {}
+        if isinstance(response, dict) and not response.get("ok", False):
+            code = response.get("code")
+            if code in ("overloaded", "breaker_open"):
+                status = "503 Service Unavailable"
+                retry = response.get("retry_after_s")
+                if retry:
+                    headers["Retry-After"] = f"{max(int(retry + 0.999), 1)}"
+            elif code == "deadline_exceeded":
+                status = "504 Gateway Timeout"
+        return status, "application/json", body.encode(), headers
 
     async def _profile_response(self, query: dict) -> tuple[str, str, bytes]:
         """``GET /debug/profile``: sample the batch-executor thread for
@@ -546,8 +671,36 @@ class ServerHandle:
             self._loop.run_until_complete(self.server.stop())
             self._loop.close()
 
-    def __exit__(self, *exc) -> None:
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop the daemon thread; raises :class:`RuntimeError` if it does
+        not join within ``timeout_s`` (a hung shutdown must not be silently
+        reported as a clean one — a leaked daemon thread still owns the
+        sockets and the batch executor)."""
         if self._loop is not None and self._loop.is_running():
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=10)
+            self._thread.join(timeout=timeout_s)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"schedule server thread failed to stop within "
+                    f"{timeout_s:g}s; daemon thread leaked (endpoints: "
+                    f"{', '.join(self.server.endpoints()) or 'none'})"
+                )
+            self._thread = None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.stop()
+        except RuntimeError:
+            if exc_type is None:
+                raise
+            # An exception is already propagating out of the with-block;
+            # don't mask it — surface the hung shutdown as a warning.
+            import warnings
+
+            warnings.warn(
+                "schedule server thread failed to stop within 10s while "
+                "handling an exception; daemon thread leaked",
+                RuntimeWarning,
+                stacklevel=2,
+            )

@@ -38,6 +38,22 @@ SCHEDULER_NAMES = ("anticipatory", "local", "critical-path", "source")
 #: Prometheus labels, so the alphabet is deliberately narrow.
 TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
+#: Structured error codes an error response may carry (``code`` field).
+#: ``bad_request`` — the document failed decode; ``overloaded`` — shed by
+#: admission control (comes with ``retry_after_s``); ``deadline_exceeded``
+#: — the request's ``deadline_ms`` expired before dispatch;
+#: ``breaker_open`` — the scheduler class's circuit breaker is open;
+#: ``scheduling_failed`` — the compute itself failed after retries;
+#: ``internal`` — anything else.
+ERROR_CODES = (
+    "bad_request",
+    "overloaded",
+    "deadline_exceeded",
+    "breaker_open",
+    "scheduling_failed",
+    "internal",
+)
+
 
 class ProtocolError(ValueError):
     """Raised when a wire document cannot be decoded into a request."""
@@ -78,6 +94,40 @@ def trace_from_wire(value: object) -> tuple[str, str | None] | None:
         f"bad trace field: need a string or an object, got "
         f"{type(value).__name__}"
     )
+
+
+def deadline_from_wire(value: object) -> float | None:
+    """Decode a request's ``deadline_ms`` field into a relative budget in
+    **seconds**.
+
+    ``None``/absent means no deadline.  The value is the client's total
+    patience in milliseconds, measured from the moment the daemon admits
+    the request; it must be a positive real number.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            f"bad deadline_ms {value!r}: need a positive number of "
+            f"milliseconds"
+        )
+    if not value > 0 or value != value or value == float("inf"):
+        raise ProtocolError(
+            f"bad deadline_ms {value!r}: need a positive finite number"
+        )
+    return float(value) / 1e3
+
+
+def deadline_s_from_doc(doc: object) -> float | None:
+    """Lenient :func:`deadline_from_wire` for the daemon's admission path:
+    invalid values answer ``None`` (no deadline) so the later full decode
+    produces the structured error instead of the transport loop."""
+    if not isinstance(doc, Mapping):
+        return None
+    try:
+        return deadline_from_wire(doc.get("deadline_ms"))
+    except ProtocolError:
+        return None
 
 
 # -- machine ------------------------------------------------------------------
@@ -215,6 +265,11 @@ class ScheduleRequest:
     #: Client-side parent span this request hangs under, if the caller is
     #: itself traced.
     parent_span_id: str | None = None
+    #: Remaining time budget in **milliseconds** (the wire unit).  The
+    #: daemon drops the request with ``deadline_exceeded`` if it cannot be
+    #: dispatched within this budget, and the worker's guard inherits the
+    #: remaining budget as its time limit.
+    deadline_ms: float | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -225,6 +280,8 @@ class ScheduleRequest:
         }
         if self.id is not None:
             out["id"] = self.id
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         if self.trace_id is not None:
             trace: dict = {"trace_id": self.trace_id}
             if self.parent_span_id is not None:
@@ -261,6 +318,7 @@ class ScheduleRequest:
             )
         wire_trace = trace_from_wire(doc.get("trace"))
         trace_id, parent_span_id = wire_trace if wire_trace else (None, None)
+        deadline_s = deadline_from_wire(doc.get("deadline_ms"))
         return cls(
             trace=trace,
             machine=machine,
@@ -268,6 +326,7 @@ class ScheduleRequest:
             id=doc.get("id"),
             trace_id=trace_id,
             parent_span_id=parent_span_id,
+            deadline_ms=None if deadline_s is None else deadline_s * 1e3,
         )
 
 
@@ -278,13 +337,17 @@ def ok_response(
     result: Mapping,
     trace_id: str | None = None,
     server: Mapping | None = None,
+    degraded: Mapping | None = None,
 ) -> dict:
     """A success response: the schedule result plus cache provenance.
 
     ``trace_id`` echoes the request's distributed-trace id; ``server`` is
     the daemon's phase-timing breakdown (``server.phases.<name>_s`` plus
     pids), so a client can report where its latency went without a second
-    round trip.
+    round trip.  ``degraded`` marks a guarded-fallback answer: the
+    schedule is still verified-legal, but it came from the always-legal
+    per-block fallback, with the diagnostic (``reason`` / ``detail`` /
+    ``elapsed_s``) attached — degraded answers are never cached.
     """
     out = {
         "v": PROTOCOL_VERSION,
@@ -302,6 +365,8 @@ def ok_response(
         out["trace"] = {"trace_id": trace_id}
     if server is not None:
         out["server"] = dict(server)
+    if degraded is not None:
+        out["degraded"] = dict(degraded)
     return out
 
 
@@ -310,8 +375,18 @@ def error_response(
     message: str,
     trace_id: str | None = None,
     server: Mapping | None = None,
+    code: str | None = None,
+    retry_after_s: float | None = None,
 ) -> dict:
+    """A structured failure.  ``code`` (one of :data:`ERROR_CODES`) lets
+    clients branch without parsing the message; ``retry_after_s`` is the
+    advisory backoff stamped on ``overloaded`` / ``breaker_open`` sheds
+    (the unix-socket equivalent of HTTP's ``Retry-After``)."""
     out = {"v": PROTOCOL_VERSION, "ok": False, "error": str(message)}
+    if code is not None:
+        out["code"] = str(code)
+    if retry_after_s is not None:
+        out["retry_after_s"] = float(retry_after_s)
     if request_id is not None:
         out["id"] = request_id
     if trace_id is not None:

@@ -22,6 +22,25 @@ Batch lifecycle
    the canonical form of each fresh result;
 5. **respond** in input order.
 
+Overload safety (the robustness layer threaded through the lifecycle):
+
+- a request whose ``deadline_ms`` budget has expired is answered
+  ``deadline_exceeded`` *before* it reaches the pool — during batch
+  assembly for requests that waited out their budget in the queue, and
+  again at dispatch time for budgets that died during decode; cache hits
+  are still served (they are nearly free).  The tightest remaining budget
+  in a batch also caps the pool's stall timeout, and each dispatched
+  document's ``deadline_ms`` is rewritten to its remaining budget so the
+  worker guard inherits it;
+- each scheduler class has a :class:`~repro.serve.admission.CircuitBreaker`
+  (K consecutive compute failures open it; while open, cache misses for
+  that class short-circuit with ``breaker_open`` instead of burning pool
+  capacity; a half-open probe after the cooldown closes or re-opens it);
+- a worker answer that degraded to the guard's verified fallback is
+  served with a ``degraded`` diagnostic and **never cached** — the cache
+  holds only primary-path schedules.
+
+
 Bit-identity contract: a miss is answered with the worker's raw result —
 exactly what a direct :func:`repro.serve.worker.compute_request` call
 returns — and a hit for an order-preserving relabeling of a cached request
@@ -52,17 +71,30 @@ from ..obs.recorder import SpanRecord
 from ..obs.runreport import RunReport, collect_provenance
 from ..obs.timeseries import SLOTracker, TimeSeriesStore, burn_rate_gauges
 from ..robust.pool import ExecutionPool, PoolConfig
+from .admission import BreakerBoard
 from .cache import ScheduleCache
 from .canonical import CanonicalForm, canonical_form
 from .protocol import (
     ProtocolError,
     ScheduleRequest,
+    deadline_s_from_doc,
     error_response,
     ok_response,
     trace_from_wire,
 )
 from .tracebuf import RequestTrace, TraceBuffer
-from .worker import compute_request
+from .worker import compute_request, configure_guard
+
+#: Guard degradation reasons that count as *failures* for the circuit
+#: breaker.  ``node_budget`` degradations are deterministic policy (the
+#: trace was too big, by configuration) and ``output_error`` means the
+#: verifier caught a bad schedule once — neither indicates the scheduler
+#: class is currently unhealthy the way timeouts/crashes do.
+BREAKER_FAILURE_REASONS = ("timeout", "deadlock", "exception")
+
+#: Floor on the pool stall timeout derived from request deadlines: a
+#: pool.run() with a microscopic timeout would declare every worker hung.
+MIN_POOL_TIMEOUT_S = 0.05
 
 
 def entry_from_result(form: CanonicalForm, result: dict) -> dict:
@@ -109,6 +141,10 @@ class ScheduleService:
         tracebuf: TraceBuffer | None = None,
         slo_objective: float = 0.99,
         latency_slo_s: float | None = None,
+        guard_budget_s: float | None = 5.0,
+        node_budget: int | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
     ) -> None:
         self.registry = registry or MetricsRegistry()
         self.cache = ScheduleCache(
@@ -135,23 +171,55 @@ class ScheduleService:
         self.requests = 0
         self.errors = 0
         self.batches = 0
+        #: Responses served from the guard's verified fallback.
+        self.degraded = 0
+        #: Requests dropped before dispatch because their budget expired.
+        self.deadline_exceeded = 0
         #: Lifetime request counts per transport ("unix" / "http" / ...).
         self.transports: dict[str, int] = {}
+        #: Per-scheduler-class circuit breakers.
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+        )
+        #: The daemon's AdmissionController, attached by ScheduleServer so
+        #: /stats and /metrics can surface queue depth and shed counts;
+        #: None when the service is driven directly (tests, CLI).
+        self.admission = None
+        # Guard budgets are process-global so fork-based pool workers
+        # inherit them (the pool forks fresh per batch).
+        configure_guard(
+            time_budget_s=guard_budget_s, node_budget=node_budget
+        )
         self.started_monotonic = time.monotonic()
 
     # -- public entry points -------------------------------------------------
 
-    def handle(self, doc: dict, transport: str = "unknown") -> dict:
+    def handle(
+        self,
+        doc: dict,
+        transport: str = "unknown",
+        deadline_s: float | None = None,
+    ) -> dict:
         """One request through the full batch path."""
-        return self.handle_batch([doc], transports=[transport])[0]
+        return self.handle_batch(
+            [doc], transports=[transport], deadlines=[deadline_s]
+        )[0]
 
     def handle_batch(
-        self, docs: list, transports: list[str] | None = None
+        self,
+        docs: list,
+        transports: list[str] | None = None,
+        deadlines: list | None = None,
     ) -> list[dict]:
         """Answer a batch of wire documents, responses in input order.
 
         ``transports`` (parallel to ``docs``) tags each request with the
         transport it arrived on for per-transport stats and access logs.
+        ``deadlines`` (parallel to ``docs``) is each request's **remaining**
+        budget in seconds as measured by the daemon at dequeue time (queue
+        wait already subtracted); ``None`` entries fall back to the
+        document's own ``deadline_ms``.
 
         Runs synchronously in the calling thread; the daemon serializes
         batches through a single executor thread because the obs recorder
@@ -166,13 +234,16 @@ class ScheduleService:
                 sim_events=False,
             )
             with cell:
-                return self._handle_batch(docs, transports)
-        return self._handle_batch(docs, transports)
+                return self._handle_batch(docs, transports, deadlines)
+        return self._handle_batch(docs, transports, deadlines)
 
     # -- internals -----------------------------------------------------------
 
     def _handle_batch(
-        self, docs: list, transports: list[str] | None = None
+        self,
+        docs: list,
+        transports: list[str] | None = None,
+        deadlines: list | None = None,
     ) -> list[dict]:
         t_batch = time.perf_counter()
         responses: list[dict | None] = [None] * len(docs)
@@ -190,6 +261,25 @@ class ScheduleService:
                 self.registry.counter("serve.requests").inc()
                 self.registry.counter(f"serve.requests.{transport}").inc()
                 t0 = time.perf_counter_ns()
+                remaining_s = (
+                    deadlines[i]
+                    if deadlines is not None and i < len(deadlines)
+                    else None
+                )
+                if remaining_s is None:
+                    remaining_s = deadline_s_from_doc(doc)
+                if remaining_s is not None and remaining_s <= 0.0:
+                    # The budget died in the queue: drop before spending
+                    # decode/canonicalize/compute on an answer nobody is
+                    # waiting for.
+                    responses[i] = self._error(
+                        doc,
+                        "deadline expired before dispatch",
+                        transport=transport,
+                        started_ns=t0,
+                        code="deadline_exceeded",
+                    )
+                    continue
                 try:
                     request = ScheduleRequest.from_dict(doc)
                 except ProtocolError as exc:
@@ -198,6 +288,7 @@ class ScheduleService:
                         str(exc),
                         transport=transport,
                         started_ns=t0,
+                        code="bad_request",
                         phases=[("decode", t0, time.perf_counter_ns() - t0)],
                     )
                     continue
@@ -217,6 +308,13 @@ class ScheduleService:
                         "form": form,
                         "started_ns": t0,
                         "transport": transport,
+                        # Absolute expiry on the perf_counter_ns clock; None
+                        # when the request carries no deadline.
+                        "deadline_ns": (
+                            None
+                            if remaining_s is None
+                            else t0 + int(remaining_s * 1e9)
+                        ),
                         "phases": [
                             ("decode", t0, t1 - t0),
                             ("canonicalize", t1, t2 - t1),
@@ -250,21 +348,75 @@ class ScheduleService:
                     ("cache_probe", t_probe, time.perf_counter_ns() - t_probe)
                 )
                 if entry is not None:
+                    # Hits are served even past their deadline: answering
+                    # from cache is cheaper than synthesizing the error.
                     responses[slot["index"]] = self._ok(
                         slot, result_from_entry(form, entry), cached=True
                     )
-                else:
-                    slot["cached"] = False
-                    pending[form.digest] = [slot]
+                    continue
+                deadline_ns = slot["deadline_ns"]
+                if (
+                    deadline_ns is not None
+                    and time.perf_counter_ns() >= deadline_ns
+                ):
+                    # Budget died during decode/canonicalize: still before
+                    # dispatch, so no pool capacity is spent on it.
+                    responses[slot["index"]] = self._error(
+                        slot["request"],
+                        "deadline expired before dispatch",
+                        decoded=True,
+                        slot=slot,
+                        code="deadline_exceeded",
+                    )
+                    continue
+                breaker = self.breakers.get(slot["request"].scheduler)
+                if not breaker.allow():
+                    responses[slot["index"]] = self._error(
+                        slot["request"],
+                        f"circuit breaker open for scheduler "
+                        f"{slot['request'].scheduler!r}",
+                        decoded=True,
+                        slot=slot,
+                        code="breaker_open",
+                        retry_after_s=breaker.retry_after_s() or None,
+                    )
+                    continue
+                slot["cached"] = False
+                pending[form.digest] = [slot]
 
             # 4: compute misses through the robust pool
             if pending:
                 order = list(pending.values())
                 t_dispatch = time.perf_counter_ns()
-                with obs.span("serve.compute", misses=len(order)):
-                    outcome = self.pool.run(
-                        [group[0]["request"].to_dict() for group in order]
+                items = []
+                budgets_s = []
+                for group in order:
+                    item = group[0]["request"].to_dict()
+                    deadline_ns = group[0]["deadline_ns"]
+                    if deadline_ns is not None:
+                        # Rewrite the wire deadline to the budget actually
+                        # left at dispatch, so the worker guard inherits a
+                        # deadline that accounts for queueing and decode.
+                        left_s = max(
+                            (deadline_ns - t_dispatch) / 1e9, 1e-6
+                        )
+                        item["deadline_ms"] = left_s * 1e3
+                        budgets_s.append(left_s)
+                    items.append(item)
+                # The tightest remaining deadline caps the pool's stall
+                # timeout — nobody waits on a compute whose requester has
+                # already given up (floored so a near-dead budget doesn't
+                # declare every worker hung).
+                run_timeout_s = self.pool.config.timeout_s
+                if budgets_s:
+                    tightest = max(min(budgets_s), MIN_POOL_TIMEOUT_S)
+                    run_timeout_s = (
+                        tightest
+                        if run_timeout_s is None
+                        else min(run_timeout_s, tightest)
                     )
+                with obs.span("serve.compute", misses=len(order)):
+                    outcome = self.pool.run(items, timeout_s=run_timeout_s)
                 dispatch_ns = time.perf_counter_ns() - t_dispatch
                 for group, result in zip(order, outcome.results):
                     for slot in group:
@@ -272,33 +424,48 @@ class ScheduleService:
                             ("dispatch", t_dispatch, dispatch_ns)
                         )
                     first = group[0]
+                    breaker = self.breakers.get(first["request"].scheduler)
                     if not isinstance(result, dict):  # a SweepFailure
+                        breaker.record_failure()
                         for slot in group:
                             responses[slot["index"]] = self._error(
                                 slot["request"],
                                 f"scheduling failed: {result}",
                                 decoded=True,
                                 slot=slot,
+                                code="scheduling_failed",
                             )
                         continue
-                    self.cache.put(
-                        first["form"].digest,
-                        entry_from_result(first["form"], result),
-                    )
+                    degraded = result.get("degraded")
+                    if (
+                        degraded is not None
+                        and degraded.get("reason") in BREAKER_FAILURE_REASONS
+                    ):
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+                    if degraded is None:
+                        # Only primary-path schedules enter the cache: a
+                        # degraded answer is legal but not the answer this
+                        # digest deserves, and must not outlive the fault.
+                        self.cache.put(
+                            first["form"].digest,
+                            entry_from_result(first["form"], result),
+                        )
                     # The computing request gets the worker's raw answer —
                     # bit-identical to an uncached direct call.
                     responses[first["index"]] = self._ok(
-                        first, result, cached=False
+                        first, result, cached=False, degraded=degraded
                     )
-                    for slot in group[1:]:
-                        responses[slot["index"]] = self._ok(
-                            slot,
-                            result_from_entry(
-                                slot["form"],
-                                entry_from_result(first["form"], result),
-                            ),
-                            cached=True,
-                        )
+                    if len(group) > 1:
+                        entry = entry_from_result(first["form"], result)
+                        for slot in group[1:]:
+                            responses[slot["index"]] = self._ok(
+                                slot,
+                                result_from_entry(slot["form"], entry),
+                                cached=True,
+                                degraded=degraded,
+                            )
         self.registry.histogram(
             "serve.batch.duration_s", SPAN_DURATION_BUCKETS
         ).observe(time.perf_counter() - t_batch)
@@ -406,6 +573,7 @@ class ScheduleService:
         cached: bool,
         worker: dict | None,
         error: str | None = None,
+        degraded_reason: str | None = None,
     ) -> tuple[str, dict, float]:
         """Shared request epilogue: retain the trace, feed the SLO tracker
         and the time-series store; returns ``(trace_id, server_block,
@@ -429,6 +597,7 @@ class ScheduleService:
                 cached=cached,
                 status=status,
                 error=error,
+                degraded=degraded_reason,
                 start_ns=slot["started_ns"],
                 duration_ns=end_ns - slot["started_ns"],
                 batch=self.batches,
@@ -445,12 +614,29 @@ class ScheduleService:
             self.timeseries.record("serve.cache.hit")
         return trace_id, server, elapsed
 
-    def _ok(self, slot: dict, result: dict, cached: bool) -> dict:
+    def _ok(
+        self,
+        slot: dict,
+        result: dict,
+        cached: bool,
+        degraded: dict | None = None,
+    ) -> dict:
         request: ScheduleRequest = slot["request"]
         worker = result.get("worker")
+        reason = degraded.get("reason", "unknown") if degraded else None
         trace_id, server, elapsed = self._finish(
-            slot, status="ok", cached=cached, worker=worker
+            slot,
+            status="ok",
+            cached=cached,
+            worker=worker,
+            degraded_reason=reason,
         )
+        if degraded is not None:
+            self.degraded += 1
+            self.registry.counter("serve.degraded").inc()
+            self.registry.counter(f"serve.degraded.{reason}").inc()
+            self.timeseries.record("serve.degraded")
+            obs.count("serve.degraded")
         self.registry.counter(f"serve.requests.{request.scheduler}").inc()
         self.registry.histogram(
             f"serve.request.{request.scheduler}.duration_s",
@@ -471,6 +657,7 @@ class ScheduleService:
             result,
             trace_id=trace_id,
             server=server,
+            degraded=degraded,
         )
 
     def _error(
@@ -482,10 +669,18 @@ class ScheduleService:
         transport: str = "unknown",
         started_ns: int | None = None,
         phases: list | None = None,
+        code: str | None = None,
+        retry_after_s: float | None = None,
     ) -> dict:
         self.errors += 1
         self.registry.counter("serve.errors").inc()
         obs.count("serve.error")
+        if code is not None:
+            self.registry.counter(f"serve.errors.{code}").inc()
+            if code == "deadline_exceeded":
+                self.deadline_exceeded += 1
+                self.registry.counter("serve.deadline_exceeded").inc()
+                self.timeseries.record("serve.deadline_exceeded")
         if decoded:
             request_id = doc_or_request.id
         else:
@@ -517,7 +712,12 @@ class ScheduleService:
             slot, status="error", cached=False, worker=None, error=message
         )
         return error_response(
-            request_id, message, trace_id=trace_id, server=server
+            request_id,
+            message,
+            trace_id=trace_id,
+            server=server,
+            code=code,
+            retry_after_s=retry_after_s,
         )
 
     # -- introspection -------------------------------------------------------
@@ -535,6 +735,9 @@ class ScheduleService:
             self.registry.gauge("serve.cache.hit_ratio").set(ratio)
         self.registry.gauge("serve.uptime_s").set(self.uptime_s)
         burn_rate_gauges(self.slo, self.registry)
+        self.breakers.publish(self.registry)
+        if self.admission is not None:
+            self.admission.publish(self.registry)
 
     def stats(self) -> dict:
         self.refresh_gauges()
@@ -542,12 +745,20 @@ class ScheduleService:
             "requests": self.requests,
             "errors": self.errors,
             "batches": self.batches,
+            "degraded": self.degraded,
+            "deadline_exceeded": self.deadline_exceeded,
             "uptime_s": self.uptime_s,
             "cache": self.cache.stats(),
             "cache_hit_ratio": self.cache.hit_ratio,
             "transports": dict(sorted(self.transports.items())),
             "traces": self.tracebuf.stats(),
             "slo": self.slo.snapshot(),
+            "admission": (
+                self.admission.snapshot()
+                if self.admission is not None
+                else None
+            ),
+            "breakers": self.breakers.snapshot(),
             "pool": {
                 "jobs": self.pool.config.jobs,
                 "batches": self.pool.batches,
@@ -572,6 +783,21 @@ class ScheduleService:
                 "errors": self.errors,
                 "batches": self.batches,
                 "cache": self.cache.stats(),
+                "robustness": {
+                    # Deterministic robustness counts: all zero on a clean
+                    # run, so a baseline pins "no degradation, no sheds".
+                    "degraded": self.degraded,
+                    "deadline_exceeded": self.deadline_exceeded,
+                    "shed": (
+                        self.admission.shed_total
+                        if self.admission is not None
+                        else 0
+                    ),
+                    "breaker_opened": sum(
+                        snap["opened"]
+                        for snap in self.breakers.snapshot().values()
+                    ),
+                },
                 "slo": {
                     "objective": self.slo.objective,
                     "bad": self.slo.bad,

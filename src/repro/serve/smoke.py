@@ -323,6 +323,28 @@ def run_smoke(
         raise SmokeFailure(f"{stats['errors']} error response(s)")
     if stats.get("cache_hit_ratio") is None:
         raise SmokeFailure("/stats carries no cache_hit_ratio")
+    # A clean smoke run must never trip the overload/degradation machinery:
+    # nothing shed, no deadline misses, no degraded fallbacks, every
+    # breaker closed.
+    admission = stats.get("admission") or {}
+    if admission.get("shed_total", 0):
+        raise SmokeFailure(
+            f"admission shed {admission['shed_total']} request(s) on a "
+            f"clean run"
+        )
+    if stats.get("degraded", 0) or stats.get("deadline_exceeded", 0):
+        raise SmokeFailure(
+            f"clean run produced {stats.get('degraded', 0)} degraded and "
+            f"{stats.get('deadline_exceeded', 0)} deadline-exceeded "
+            f"response(s)"
+        )
+    open_breakers = {
+        name: snap["state"]
+        for name, snap in (stats.get("breakers") or {}).items()
+        if snap.get("state") != "closed"
+    }
+    if open_breakers:
+        raise SmokeFailure(f"breakers not closed: {open_breakers}")
     if stats.get("transports", {}).get("http", 0) < 1:
         raise SmokeFailure(
             f"per-transport counts missed the HTTP request: "

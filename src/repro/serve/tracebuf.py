@@ -12,7 +12,11 @@ known.  Three bounded rings:
 - ``errors`` — every request that answered ``ok: false``;
 - ``slow`` — every request at or above the rolling-window p99 duration,
   plus every cache miss slower than the rolling median (a miss ran the
-  scheduler; a slow miss is where capacity goes).
+  scheduler; a slow miss is where capacity goes);
+- ``degraded`` — every request answered from the guard's verified
+  fallback (``degraded: <reason>`` on the response): degradation is the
+  serving tier's canary, so it gets its own keep-rule instead of hiding
+  in ``recent``.
 
 Each retained :class:`RequestTrace` carries the full span tree the service
 recorded for that request — daemon-side phases (decode / canonicalize /
@@ -43,6 +47,7 @@ WATERFALL_KIND = "request_waterfall"
 DEFAULT_CAPACITY = 256
 DEFAULT_SLOW_CAPACITY = 64
 DEFAULT_ERROR_CAPACITY = 64
+DEFAULT_DEGRADED_CAPACITY = 64
 
 #: Rolling duration window used for the p99 / median thresholds.
 DEFAULT_SAMPLE_WINDOW = 512
@@ -64,6 +69,10 @@ class RequestTrace:
     transport: str = "unknown"
     worker_pid: int | None = None
     error: str | None = None
+    #: Guard degradation reason (``timeout``, ``node_budget``, ...) when the
+    #: response was served from the verified fallback; None on the primary
+    #: path.
+    degraded: str | None = None
     #: Full span tree: ``serve.request`` root at depth 0, daemon phases at
     #: depth 1, worker spans at depth 2+ — every one stamped with
     #: ``trace_id``.
@@ -82,6 +91,7 @@ class RequestTrace:
             "cached": self.cached,
             "status": self.status,
             "error": self.error,
+            "degraded": self.degraded,
             "start_us": self.start_ns // 1000,
             "duration_s": self.duration_s,
             "batch": self.batch,
@@ -100,6 +110,7 @@ class RequestTrace:
             cached=bool(d.get("cached", False)),
             status=str(d.get("status", "ok")),
             error=d.get("error"),
+            degraded=d.get("degraded"),
             start_ns=int(d.get("start_us", 0)) * 1000,
             duration_ns=int(float(d.get("duration_s", 0.0)) * 1e9),
             batch=int(d.get("batch", 0)),
@@ -171,12 +182,14 @@ class TraceBuffer:
         slow_capacity: int = DEFAULT_SLOW_CAPACITY,
         error_capacity: int = DEFAULT_ERROR_CAPACITY,
         sample_window: int = DEFAULT_SAMPLE_WINDOW,
+        degraded_capacity: int = DEFAULT_DEGRADED_CAPACITY,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._recent: deque[RequestTrace] = deque(maxlen=capacity)
         self._slow: deque[RequestTrace] = deque(maxlen=slow_capacity)
         self._errors: deque[RequestTrace] = deque(maxlen=error_capacity)
+        self._degraded: deque[RequestTrace] = deque(maxlen=degraded_capacity)
         self._window = _DurationWindow(sample_window)
         self._lock = threading.Lock()
         self.added = 0
@@ -189,6 +202,8 @@ class TraceBuffer:
             self._recent.append(trace)
             if trace.status != "ok":
                 self._errors.append(trace)
+            if trace.degraded is not None:
+                self._degraded.append(trace)
             self._window.add(trace.duration_ns)
             p99 = self._window.percentile(99.0)
             p50 = self._window.percentile(50.0)
@@ -235,10 +250,21 @@ class TraceBuffer:
         with self._lock:
             return self._select(self._errors, n, trace_id)
 
+    def degraded(
+        self, n: int | None = None, trace_id: str | None = None
+    ) -> list[RequestTrace]:
+        with self._lock:
+            return self._select(self._degraded, n, trace_id)
+
     def find(self, trace_id: str) -> RequestTrace | None:
         """The most recent retained trace with this id, from any ring."""
         with self._lock:
-            for ring in (self._recent, self._slow, self._errors):
+            for ring in (
+                self._recent,
+                self._slow,
+                self._errors,
+                self._degraded,
+            ):
                 for trace in reversed(ring):
                     if trace.trace_id == trace_id:
                         return trace
@@ -251,6 +277,7 @@ class TraceBuffer:
                 "recent": len(self._recent),
                 "slow": len(self._slow),
                 "errors": len(self._errors),
+                "degraded": len(self._degraded),
                 "p50_s": _ns_to_s(self._window.percentile(50.0)),
                 "p99_s": _ns_to_s(self._window.percentile(99.0)),
             }

@@ -1,5 +1,5 @@
-"""The service's compute kernel: schedule one request, ground-truth it in
-the window simulator, return plain data.
+"""The service's compute kernel: schedule one request under the robust
+guard, ground-truth it in the window simulator, return plain data.
 
 :func:`compute_request` is deliberately a **module-level function of one
 JSON-able argument returning a JSON-able dict** so it satisfies the
@@ -8,6 +8,23 @@ can dispatch batches to fork-based worker processes and inherit the sweep
 driver's timeout/retry/crash-blame machinery unchanged.  Everything a
 response or cache entry needs is in the returned dict; no live objects
 cross the process boundary.
+
+Scheduling runs through :class:`~repro.robust.guard.GuardedScheduler`
+with the request's own scheduler as the guarded primary: the emitted
+orders on the happy path are exactly what :func:`compute_block_orders`
+returns (the bit-identity contract with direct library calls is
+untouched), but a budget blowout, crash-adjacent exception or verifier
+rejection degrades to the verified always-legal per-block fallback, and
+the result dict carries a ``"degraded"`` diagnostic the service surfaces
+on the response and keeps out of the cache.  The guard's time budget is
+the smaller of the configured worker budget (:func:`configure_guard`,
+inherited by forked pool workers) and the request's remaining
+``deadline_ms``.
+
+Chaos hooks: when a :mod:`repro.serve.chaos` plan is installed, the plan
+decides per request id whether this compute exits hard, hangs past the
+pool's stall timeout, or schedules slowly enough to degrade — the
+serve-tier fault injection the chaos harness drives.
 """
 
 from __future__ import annotations
@@ -17,18 +34,37 @@ import time
 from contextlib import contextmanager
 from typing import Mapping
 
-from ..core import algorithm_lookahead, local_block_orders
+from ..core import local_block_orders  # noqa: F401  (re-export compat)
+from ..core import algorithm_lookahead
 from ..ir.basicblock import Trace
 from ..machine.model import MachineModel
 from ..obs import recorder as obs
 from ..obs.pipeline import TraceContext
+from ..robust.guard import GuardedScheduler
 from ..schedulers import (
     block_orders_with_priority,
     critical_path_priority,
     source_order_priority,
 )
 from ..sim import simulate_trace
+from . import chaos
 from .protocol import ScheduleRequest
+
+#: Process-wide guard defaults (inherited by fork-based pool workers; the
+#: service sets them once at construction via :func:`configure_guard`).
+_guard_config: dict = {"time_budget_s": None, "node_budget": None}
+
+
+def configure_guard(
+    time_budget_s: float | None = None, node_budget: int | None = None
+) -> dict:
+    """Set the worker-side guard budgets for this process (and, through
+    fork inheritance, for every pool worker it spawns).  Returns the
+    previous configuration so tests can restore it."""
+    previous = dict(_guard_config)
+    _guard_config["time_budget_s"] = time_budget_s
+    _guard_config["node_budget"] = node_budget
+    return previous
 
 
 @contextmanager
@@ -74,18 +110,47 @@ def compute_block_orders(
     raise ValueError(f"unknown scheduler {scheduler!r}")
 
 
-def compute_schedule(request: ScheduleRequest) -> dict:
-    """Schedule + simulate one decoded request.
+def _guard_budget_s(request: ScheduleRequest) -> float | None:
+    """The effective time budget: the configured worker budget tightened
+    to the request's remaining deadline (whichever is smaller)."""
+    budget = _guard_config["time_budget_s"]
+    if request.deadline_ms is not None:
+        deadline_s = request.deadline_ms / 1e3
+        budget = deadline_s if budget is None else min(budget, deadline_s)
+    return budget
+
+
+def compute_schedule(
+    request: ScheduleRequest, primary_delay_s: float | None = None
+) -> dict:
+    """Schedule + simulate one decoded request under the guard.
 
     The returned dict is the full uncached answer: emitted block orders,
     the simulated makespan / stall count, the runtime schedule's start
     times and unit assignments (needed so cache hits can reconstruct the
     response without re-running anything), the schedule's own content
-    digest (:meth:`repro.core.schedule.Schedule.digest`), and a
-    ``"worker"`` block — pid, per-phase wall times, the request's trace id
-    — that rides back through the pool pickle so the service can graft
-    worker spans into the request's span tree even when spooling is off.
+    digest (:meth:`repro.core.schedule.Schedule.digest`), a ``"worker"``
+    block — pid, per-phase wall times, the request's trace id — that rides
+    back through the pool pickle so the service can graft worker spans
+    into the request's span tree even when spooling is off, and (only when
+    the guard fell back) a ``"degraded"`` diagnostic dict.
+
+    ``primary_delay_s`` injects a sleep *inside* the guarded primary —
+    the chaos harness's slow-scheduler fault; the guard's budget is the
+    mechanism that turns it into a degradation instead of a hang.
     """
+
+    def primary(trace: Trace, machine: MachineModel) -> list[list[str]]:
+        if primary_delay_s is not None:
+            time.sleep(primary_delay_s)
+        return compute_block_orders(trace, machine, request.scheduler)
+
+    guard = GuardedScheduler(
+        machine=request.machine,
+        time_budget_s=_guard_budget_s(request),
+        node_budget=_guard_config["node_budget"],
+        primary=primary,
+    )
     with request_trace_context(request.trace_id, request.parent_span_id):
         t0 = time.perf_counter_ns()
         with obs.span(
@@ -93,15 +158,14 @@ def compute_schedule(request: ScheduleRequest) -> dict:
             scheduler=request.scheduler,
             trace_id=request.trace_id,
         ):
-            orders = compute_block_orders(
-                request.trace, request.machine, request.scheduler
-            )
+            guarded = guard.schedule(request.trace)
+        orders = guarded.block_orders
         t1 = time.perf_counter_ns()
         with obs.span("serve.worker.simulate", trace_id=request.trace_id):
             sim = simulate_trace(request.trace, orders, request.machine)
         t2 = time.perf_counter_ns()
     schedule = sim.schedule
-    return {
+    out = {
         "block_orders": [list(o) for o in orders],
         "makespan": sim.makespan,
         "stall_cycles": sim.stall_cycles,
@@ -118,8 +182,28 @@ def compute_schedule(request: ScheduleRequest) -> dict:
             },
         },
     }
+    if guarded.degraded is not None:
+        out["degraded"] = guarded.degraded.to_dict()
+    return out
 
 
 def compute_request(doc: Mapping) -> dict:
-    """Picklable pool entry point: wire dict in, result dict out."""
-    return compute_schedule(ScheduleRequest.from_dict(doc))
+    """Picklable pool entry point: wire dict in, result dict out.
+
+    When a chaos plan is installed (inherited across the fork), the plan
+    may order this compute to die or hang before any work happens — the
+    crash-blame and stall-timeout paths the pool exists for — or to run
+    its primary slowly enough that the guard degrades it.
+    """
+    request = ScheduleRequest.from_dict(doc)
+    delay_s = None
+    plan = chaos.active_plan()
+    if plan is not None:
+        action = plan.worker_action(request.id)
+        if action == "exit":
+            os._exit(23)
+        if action == "hang":
+            time.sleep(plan.hang_s)
+        elif action == "slow":
+            delay_s = plan.slow_s
+    return compute_schedule(request, primary_delay_s=delay_s)

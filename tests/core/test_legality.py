@@ -108,3 +108,45 @@ class TestOrderingConstraint:
         orders = [list(t.block_nodes(i)) for i in range(t.num_blocks)]
         sim = simulate_trace(t, orders, m)
         assert is_legal_schedule(t, sim.schedule, m)
+
+class TestLegalityWitness:
+    """Definition 2.3 is existential — "obtainable from *a* priority
+    list".  The derived sub-permutation candidate is incomplete: a
+    windowed execution may overtake a stalled instruction inside its own
+    block, so the issue order's per-block sub-order differs from the list
+    that produced it.  Passing the producing orders as ``witness_orders``
+    makes the check exact."""
+
+    def _overtake_case(self):
+        from repro.core import local_block_orders
+
+        t = random_trace(
+            2, (3, 6), cross_probability=0.15, latencies=(0, 1, 2), seed=0
+        )
+        m = paper_machine(4)
+        orders = local_block_orders(t, m)
+        sim = simulate_trace(t, orders, m)
+        return t, m, orders, sim.schedule
+
+    def test_witness_makes_simulator_output_legal(self):
+        t, m, orders, schedule = self._overtake_case()
+        assert is_legal_schedule(t, schedule, m, witness_orders=orders)
+
+    def test_canonical_candidate_alone_is_conservative(self):
+        # The same schedule fails without the witness: its derived
+        # sub-permutations re-execute differently.  This pins the
+        # incompleteness the witness parameter exists to fix.
+        t, m, orders, schedule = self._overtake_case()
+        assert not is_legal_schedule(t, schedule, m)
+
+    def test_wrong_witness_rejected(self):
+        t = tiny_trace()
+        m = paper_machine(2)
+        sim = simulate_trace(t, [["a", "b"], ["c", "d"]], m)
+        # A witness that doesn't reproduce the schedule is not accepted.
+        delayed = Schedule(
+            t.graph, {n: sim.schedule.start(n) + 1 for n in t.graph.nodes}
+        )
+        assert not is_legal_schedule(
+            t, delayed, m, witness_orders=[["a", "b"], ["c", "d"]]
+        )

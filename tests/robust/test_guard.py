@@ -159,3 +159,31 @@ class TestGuardConfig:
     def test_negative_node_budget_rejected(self):
         with pytest.raises(ValueError):
             GuardedScheduler(node_budget=-1)
+
+
+class TestPerCallBudget:
+    def test_call_budget_overrides_instance_budget(self, trace, machine):
+        # Instance has no budget; the call's tight one degrades the slow
+        # primary — the serving worker's deadline-tightening path.
+        guard = GuardedScheduler(machine=machine, primary=_quick_sleeper)
+        result = guard.schedule(trace, time_budget_s=0.05)
+        assert not result.ok and result.degraded.reason == "timeout"
+
+    def test_explicit_none_disables_instance_budget(self, trace, machine):
+        guard = GuardedScheduler(
+            machine=machine, time_budget_s=0.05, primary=_quick_sleeper
+        )
+        result = guard.schedule(trace, time_budget_s=None)
+        assert result.ok
+
+    def test_unset_keeps_instance_budget(self, trace, machine):
+        guard = GuardedScheduler(
+            machine=machine, time_budget_s=0.05, primary=_quick_sleeper
+        )
+        result = guard.schedule(trace)
+        assert not result.ok and result.degraded.reason == "timeout"
+
+
+def _quick_sleeper(trace, machine):
+    time.sleep(0.15)
+    return local_block_orders(trace, machine)

@@ -1,0 +1,257 @@
+"""Tests for admission control and circuit breaking: the bounded-queue
+property, brownout hysteresis, the breaker lifecycle (with an injectable
+clock), and the /metrics visibility of both."""
+
+import random
+import threading
+
+import pytest
+
+from repro.obs.expo import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionConfig,
+    AdmissionController,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class TestAdmissionConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_capacity": 0},
+            {"inflight_limit": 0},
+            {"brownout_fraction": 0.0},
+            {"brownout_fraction": 1.5},
+            {"retry_after_s": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+
+class TestAdmissionController:
+    def test_admits_until_capacity_then_sheds(self):
+        ctl = AdmissionController(AdmissionConfig(queue_capacity=3))
+        assert [ctl.try_admit("unix") for _ in range(3)] == [None] * 3
+        assert ctl.try_admit("unix") == "queue_full"
+        assert ctl.queue_depth == 3
+
+    def test_inflight_limit_is_per_transport(self):
+        ctl = AdmissionController(
+            AdmissionConfig(queue_capacity=100, inflight_limit=2)
+        )
+        assert ctl.try_admit("unix") is None
+        assert ctl.try_admit("unix") is None
+        assert ctl.try_admit("unix") == "inflight_limit"
+        # The other transport has its own budget.
+        assert ctl.try_admit("http") is None
+
+    def test_release_frees_inflight_but_not_queue(self):
+        ctl = AdmissionController(
+            AdmissionConfig(queue_capacity=100, inflight_limit=1)
+        )
+        assert ctl.try_admit("unix") is None
+        assert ctl.try_admit("unix") == "inflight_limit"
+        ctl.note_dequeued()
+        # Still inflight until the future resolves.
+        assert ctl.try_admit("unix") == "inflight_limit"
+        ctl.release("unix")
+        assert ctl.try_admit("unix") is None
+
+    def test_bounded_queue_property(self):
+        """Capacity C, N >> C submissions: accepted + shed == N and the
+        depth never exceeds C — the invariant the chaos harness pins
+        against the live daemon, here against the ledger itself."""
+        capacity = 7
+        n = 500
+        ctl = AdmissionController(
+            AdmissionConfig(queue_capacity=capacity, inflight_limit=n + 1)
+        )
+        rng = random.Random(42)
+        peak = 0
+        for _ in range(n):
+            if ctl.try_admit("unix") is None:
+                peak = max(peak, ctl.queue_depth)
+            # Drain a random amount, like the batch loop would.
+            if rng.random() < 0.4:
+                drained = rng.randint(1, 3)
+                ctl.note_dequeued(drained)
+                for _ in range(drained):
+                    ctl.release("unix")
+        snap = ctl.snapshot()
+        assert snap["accepted"] + snap["shed_total"] == n
+        assert peak <= capacity
+        assert snap["peak_depth"] <= capacity
+        assert snap["shed"].get("queue_full", 0) == snap["shed_total"]
+
+    def test_bounded_under_concurrent_submitters(self):
+        capacity = 5
+        per_thread = 200
+        ctl = AdmissionController(
+            AdmissionConfig(queue_capacity=capacity, inflight_limit=10_000)
+        )
+
+        def submitter():
+            for _ in range(per_thread):
+                if ctl.try_admit("unix") is None:
+                    ctl.note_dequeued()
+                    ctl.release("unix")
+
+        threads = [threading.Thread(target=submitter) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = ctl.snapshot()
+        assert snap["accepted"] + snap["shed_total"] == 8 * per_thread
+        assert snap["peak_depth"] <= capacity
+        assert snap["queue_depth"] == 0 and snap["inflight_total"] == 0
+
+    def test_brownout_engages_and_clears(self):
+        ctl = AdmissionController(
+            AdmissionConfig(queue_capacity=10, brownout_fraction=0.5)
+        )
+        for _ in range(4):
+            ctl.try_admit("unix")
+        assert not ctl.brownout
+        ctl.try_admit("unix")  # depth 5 == threshold
+        assert ctl.brownout
+        assert ctl.snapshot()["brownouts"] == 1
+        ctl.note_dequeued(3)
+        assert not ctl.brownout
+        # Re-entering brownout counts again.
+        for _ in range(3):
+            ctl.try_admit("unix")
+        assert ctl.brownout and ctl.snapshot()["brownouts"] == 2
+
+    def test_shed_counter_reaches_registry(self):
+        registry = MetricsRegistry()
+        ctl = AdmissionController(
+            AdmissionConfig(queue_capacity=1), registry=registry
+        )
+        ctl.try_admit("unix")
+        ctl.try_admit("unix")
+        assert registry.counter("serve.shed").value == 1
+        assert registry.counter("serve.shed.queue_full").value == 1
+
+    def test_publish_gauges(self):
+        registry = MetricsRegistry()
+        ctl = AdmissionController(AdmissionConfig(queue_capacity=4))
+        ctl.try_admit("unix")
+        ctl.try_admit("http")
+        ctl.publish(registry)
+        assert registry.gauge("serve.queue_depth").value == 2
+        assert registry.gauge("serve.queue_capacity").value == 4
+        assert registry.gauge("serve.inflight").value == 2
+        assert registry.gauge("serve.inflight.unix").value == 1
+        text = prometheus_text(registry, namespace="repro")
+        assert "repro_serve_queue_depth" in text
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0)
+
+    def test_lifecycle(self):
+        """K consecutive failures open; short-circuit while open; the
+        half-open probe's success closes; every transition is counted."""
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=3, cooldown_s=10.0, clock=clock)
+        assert b.state == BREAKER_CLOSED
+
+        for _ in range(2):
+            assert b.allow()
+            b.record_failure()
+        assert b.state == BREAKER_CLOSED  # streak below K
+        assert b.allow()
+        b.record_failure()
+        assert b.state == BREAKER_OPEN and b.opened == 1
+
+        # While open: refused, counted, retry hint counts down.
+        assert not b.allow()
+        assert b.short_circuits == 1
+        clock.advance(4.0)
+        assert b.retry_after_s() == pytest.approx(6.0)
+        assert not b.allow()
+
+        # Cooldown elapsed: exactly one probe admitted.
+        clock.advance(6.0)
+        assert b.allow()
+        assert b.state == BREAKER_HALF_OPEN
+        assert not b.allow()  # second caller waits for the probe
+        b.record_success()
+        assert b.state == BREAKER_CLOSED and b.reclosed == 1
+        assert b.retry_after_s() == 0.0
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock)
+        b.record_failure()
+        assert b.state == BREAKER_OPEN
+        clock.advance(5.0)
+        assert b.allow()  # probe
+        b.record_failure()
+        assert b.state == BREAKER_OPEN and b.opened == 2
+        assert b.retry_after_s() == pytest.approx(5.0)
+
+    def test_success_resets_failure_streak(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == BREAKER_CLOSED
+
+
+class TestBreakerBoard:
+    def test_per_class_isolation(self):
+        board = BreakerBoard(failure_threshold=1, cooldown_s=30.0)
+        board.get("anticipatory").record_failure()
+        assert board.get("anticipatory").state == BREAKER_OPEN
+        assert board.get("local").state == BREAKER_CLOSED
+        assert board.names() == ["anticipatory", "local"]
+
+    def test_get_is_idempotent(self):
+        board = BreakerBoard()
+        assert board.get("x") is board.get("x")
+
+    def test_publish_state_gauges_in_metrics_text(self):
+        clock = FakeClock()
+        board = BreakerBoard(
+            failure_threshold=1, cooldown_s=10.0, clock=clock
+        )
+        board.get("anticipatory").record_failure()
+        board.get("local").record_success()
+        registry = MetricsRegistry()
+        board.publish(registry)
+        assert registry.gauge("serve.breaker.anticipatory.state").value == 1
+        assert registry.gauge("serve.breaker.local.state").value == 0
+        text = prometheus_text(registry, namespace="repro")
+        assert "repro_serve_breaker_anticipatory_state 1" in text
+        assert "repro_serve_breaker_local_state 0" in text
+
+        # Transition to half-open is visible on the next publish.
+        clock.advance(10.0)
+        assert board.get("anticipatory").allow()
+        board.publish(registry)
+        assert registry.gauge("serve.breaker.anticipatory.state").value == 2

@@ -144,3 +144,70 @@ class TestHitRatio:
         cache.get("a")          # hit
         assert cache.hit_ratio == 0.5
         assert cache.stats()["hit_ratio"] == 0.5
+
+
+class TestCompaction:
+    def test_compact_rewrites_to_live_entries_only(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cache = ScheduleCache(capacity=2, path=path, compact_ratio=100.0)
+        for i in range(8):
+            cache.put(f"d{i}", {"makespan": i})
+        assert cache.store_lines == 8 and len(cache) == 2
+        dropped = cache.compact()
+        assert dropped == 6
+        assert cache.store_lines == 2 and cache.compactions == 1
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["digest"] for r in lines] == ["d6", "d7"]
+
+    def test_append_triggers_compaction_at_ratio(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cache = ScheduleCache(capacity=2, path=path, compact_ratio=2.0)
+        # Dead lines bound: store never exceeds (1 + ratio) * live for long.
+        for i in range(50):
+            cache.put(f"d{i}", {"makespan": i})
+        assert cache.compactions >= 1
+        # The trigger measures against the pre-eviction live set, so the
+        # dead-line bound is ratio * (live + 1) + 1.
+        assert cache.store_lines - len(cache) <= 2.0 * (len(cache) + 1) + 1
+
+    def test_load_compacts_garbage_heavy_store(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        writer = ScheduleCache(capacity=2, path=path, compact_ratio=1000.0)
+        for i in range(40):
+            writer.put(f"d{i}", {"makespan": i})
+        assert writer.store_lines == 40
+        # A fresh process with a normal ratio compacts on load.
+        cache = ScheduleCache(capacity=2, path=path, compact_ratio=2.0)
+        assert cache.compactions == 1
+        assert cache.store_lines == 2
+        assert "d38" in cache and "d39" in cache
+
+    def test_compaction_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cache = ScheduleCache(capacity=1, path=path, compact_ratio=100.0)
+        for i in range(5):
+            cache.put(f"d{i}", {"makespan": i})
+        cache.compact()
+        assert not (tmp_path / "store.jsonl.tmp").exists()
+        reloaded = ScheduleCache(capacity=4, path=path)
+        assert len(reloaded) == 1 and "d4" in reloaded
+
+    def test_compact_without_path_is_noop(self):
+        cache = ScheduleCache(capacity=4)
+        assert cache.compact() == 0
+        assert cache.compactions == 0
+
+    def test_stats_carries_store_lines_and_compactions(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        cache = ScheduleCache(capacity=4, path=path)
+        cache.put("a", E1)
+        stats = cache.stats()
+        assert stats["store_lines"] == 1 and stats["compactions"] == 0
+
+    def test_compact_ratio_validated(self, tmp_path):
+        try:
+            ScheduleCache(capacity=4, compact_ratio=0.5)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("compact_ratio=0.5 accepted")
